@@ -1,0 +1,50 @@
+"""Ablation: kd-tree split rule (weighted median vs dyadic midpoint).
+
+Algorithm 2 splits at the weighted median so cells carry equal
+probability mass; a midpoint split is cheaper but can leave unbalanced
+cells.  We compare the range-query error of the main-memory product
+sampler under both rules.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.aware.product_sampler import product_aware_summary
+from repro.datagen.queries import uniform_area_queries
+from repro.experiments.harness import evaluate_summary, ground_truths
+from repro.experiments.report import FigureResult, render_figure
+
+
+def test_kd_split_ablation(benchmark, network_data, results_dir):
+    def run():
+        rng = np.random.default_rng(6)
+        queries = uniform_area_queries(
+            network_data.domain, 30, 25, max_fraction=0.12, rng=rng
+        )
+        truths = ground_truths(network_data, queries)
+        result = FigureResult(
+            "Ablation: kd split rule",
+            "median (Algorithm 2) vs midpoint splitting",
+            "sample size",
+            "absolute error",
+        )
+        for s in (300, 1000, 3000):
+            for rule in ("median", "midpoint"):
+                errors = []
+                for t in range(3):
+                    summary = product_aware_summary(
+                        network_data, s, np.random.default_rng(t),
+                        split_rule=rule,
+                    )
+                    scores = evaluate_summary(
+                        summary, queries, truths,
+                        network_data.total_weight,
+                    )
+                    errors.append(scores["abs_error"])
+                result.add_point(rule, s, float(np.mean(errors)))
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_figure(result)
+    emit(results_dir, "ablation_kd_split", text)
+    assert set(result.series) == {"median", "midpoint"}

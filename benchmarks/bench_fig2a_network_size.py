@@ -1,0 +1,38 @@
+"""Figure 2(a): accuracy vs summary size on network data.
+
+Uniform-area queries with 25 ranges each; methods: aware, obliv,
+wavelet, qdigest.  Expected shape (paper Section 6.2): aware error is
+one half to one third of obliv at equal space; qdigest is one to two
+orders of magnitude worse; wavelet is the only dedicated summary that
+comes close.
+"""
+
+from conftest import emit
+from repro.experiments.figures import fig2a
+from repro.experiments.report import render_comparison, render_figure
+
+
+def test_fig2a(benchmark, network_data, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig2a(
+            network_data,
+            sizes=(100, 300, 1000, 3000),
+            n_queries=30,
+            ranges_per_query=25,
+            repeats=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_figure(result)
+    text += "\n" + render_comparison(result, baseline="obliv", target="aware")
+    text += "\n" + render_comparison(result, baseline="qdigest", target="aware")
+    emit(results_dir, "fig2a", text)
+    # Weak shape checks: every series present and positive.
+    assert set(result.series) == {"aware", "obliv", "wavelet", "qdigest"}
+    for series in result.series.values():
+        assert len(series) == 4
+        assert all(y >= 0 for _x, y in series)
+    # Sampling methods improve with size.
+    aware = dict(result.series["aware"])
+    assert aware[3000] < aware[100]

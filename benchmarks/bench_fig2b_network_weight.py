@@ -1,0 +1,33 @@
+"""Figure 2(b): accuracy vs query weight on network data.
+
+Uniform-weight queries (10 ranges each) at a fixed summary size; the x
+axis sweeps the fraction of the total weight a query covers.  Expected
+shape: sampling methods beat wavelet/qdigest; the error lines have a
+shallow gradient, i.e. *relative* error improves as queries grow; for
+heavier queries aware is about half of obliv.
+"""
+
+from conftest import emit
+from repro.experiments.figures import fig2b
+from repro.experiments.report import render_comparison, render_figure
+
+
+def test_fig2b(benchmark, network_data, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig2b(
+            network_data,
+            size=2700,
+            ranges_per_query=10,
+            cell_counts=(2000, 600, 200, 60, 20),
+            n_queries=30,
+            repeats=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_figure(result)
+    text += "\n" + render_comparison(result, baseline="obliv", target="aware")
+    emit(results_dir, "fig2b", text)
+    assert set(result.series) == {"aware", "obliv", "wavelet", "qdigest"}
+    for series in result.series.values():
+        assert len(series) == 5

@@ -1,0 +1,40 @@
+"""Figure 2(c): accuracy vs ranges-per-query at fixed query weight.
+
+Total query weight is held at ~0.12 of the data while the number of
+ranges per query varies.  Expected shape: obliv is flat (to a sample
+all these queries are similar-weight subsets); aware is several times
+better at few ranges and converges to obliv as ranges shrink (40+
+ranges: minimal difference).
+"""
+
+from conftest import emit
+from repro.experiments.figures import fig2c
+from repro.experiments.report import render_figure
+
+
+def test_fig2c(benchmark, network_data, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig2c(
+            network_data,
+            size=2700,
+            range_counts=(1, 2, 5, 10, 25, 50),
+            target_weight=0.12,
+            n_queries=30,
+            repeats=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    aware = dict(result.series["aware"])
+    obliv = dict(result.series["obliv"])
+    gap_small = obliv[1] / max(aware[1], 1e-12)
+    gap_large = obliv[50] / max(aware[50], 1e-12)
+    text = render_figure(result)
+    text += (
+        f"\nobliv/aware gap: {gap_small:.2f}x at 1 range, "
+        f"{gap_large:.2f}x at 50 ranges"
+    )
+    emit(results_dir, "fig2c", text)
+    assert len(aware) == 6
+    # The aware advantage shrinks as the number of ranges grows.
+    assert gap_small > gap_large * 0.8

@@ -1,0 +1,29 @@
+"""Figure 3(a): construction throughput vs summary size, network data.
+
+Expected shape: obliv (one pass) is fastest; aware costs roughly one
+more pass; qdigest and sketch are about two orders of magnitude slower
+in 2-D; the 2-D wavelet transform is the slowest by far (every point
+touches log X * log Y coefficients).
+"""
+
+from conftest import emit
+from repro.experiments.figures import fig3a
+from repro.experiments.report import render_figure
+
+
+def test_fig3a(benchmark, network_data, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig3a(network_data, sizes=(100, 1000, 3000)),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_figure(result)
+    emit(results_dir, "fig3a", text)
+    series = result.series
+    assert set(series) == {"aware", "obliv", "wavelet", "qdigest", "sketch"}
+    obliv = dict(series["obliv"])
+    wavelet = dict(series["wavelet"])
+    aware = dict(series["aware"])
+    # Sampling construction dominates the wavelet transform.
+    assert min(obliv.values()) > max(wavelet.values())
+    assert min(aware.values()) > max(wavelet.values())

@@ -1,0 +1,23 @@
+"""Figure 3(b): construction throughput vs summary size, ticket data.
+
+Same expected ordering as Figure 3(a); the paper highlights that on
+this data generating and using samples takes seconds while wavelets
+take hours (tens of millions of coefficients before thresholding).
+"""
+
+from conftest import emit
+from repro.experiments.figures import fig3b
+from repro.experiments.report import render_figure
+
+
+def test_fig3b(benchmark, tickets_data, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig3b(tickets_data, sizes=(100, 1000, 3000)),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_figure(result)
+    emit(results_dir, "fig3b", text)
+    obliv = dict(result.series["obliv"])
+    wavelet = dict(result.series["wavelet"])
+    assert min(obliv.values()) > max(wavelet.values())

@@ -1,0 +1,31 @@
+"""Figure 3(c): time to answer a rectangle-query battery vs summary size.
+
+Expected shape: aware and obliv queries cost the same (both scan a
+sample); wavelet queries are orders of magnitude slower (dyadic
+decomposition times coefficient lookups); querying the full data costs
+the most per battery.
+"""
+
+from conftest import emit
+from repro.experiments.figures import fig3c
+from repro.experiments.report import render_figure
+
+
+def test_fig3c(benchmark, network_data, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig3c(
+            network_data,
+            sizes=(100, 1000, 3000),
+            n_rectangles=500,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_figure(result)
+    emit(results_dir, "fig3c", text)
+    aware = dict(result.series["aware"])
+    obliv = dict(result.series["obliv"])
+    # Samples answer queries in comparable time (same representation).
+    for size in aware:
+        ratio = aware[size] / max(obliv[size], 1e-12)
+        assert 0.2 < ratio < 5.0

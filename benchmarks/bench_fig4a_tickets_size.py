@@ -1,0 +1,31 @@
+"""Figure 4(a): accuracy vs summary size on tech-ticket data.
+
+Uniform-weight queries.  Expected shape: aware and obliv nearly
+coincide at small sizes (the fat head of heavy keys is in both
+samples); they diverge at larger sizes where structure-awareness wins
+(paper: less than half the obliv error at 1-10% of the data size).
+"""
+
+from conftest import emit
+from repro.experiments.figures import fig4a
+from repro.experiments.report import render_comparison, render_figure
+
+
+def test_fig4a(benchmark, tickets_data, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig4a(
+            tickets_data,
+            sizes=(100, 300, 1000, 3000),
+            ranges_per_query=10,
+            n_cells=100,
+            n_queries=30,
+            repeats=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_figure(result)
+    text += "\n" + render_comparison(result, baseline="obliv", target="aware")
+    emit(results_dir, "fig4a", text)
+    aware = dict(result.series["aware"])
+    assert aware[3000] < aware[100]

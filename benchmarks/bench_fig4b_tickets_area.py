@@ -1,0 +1,23 @@
+"""Figure 4(b): accuracy vs query weight, ticket data, uniform-area queries."""
+
+from conftest import emit
+from repro.experiments.figures import fig4b
+from repro.experiments.report import render_figure
+
+
+def test_fig4b(benchmark, tickets_data, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig4b(
+            tickets_data,
+            size=2700,
+            ranges_per_query=25,
+            fractions=(0.005, 0.02, 0.06, 0.12),
+            n_queries=30,
+            repeats=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_figure(result)
+    emit(results_dir, "fig4b", text)
+    assert set(result.series) == {"aware", "obliv", "wavelet", "qdigest"}

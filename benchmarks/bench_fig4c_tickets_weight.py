@@ -1,0 +1,29 @@
+"""Figure 4(c): accuracy vs query weight, ticket data, uniform-weight queries.
+
+Expected shape: for controlled-weight multi-range queries the sampling
+methods give the best results overall; wavelets do not catch up the way
+they can on uniform-area queries.
+"""
+
+from conftest import emit
+from repro.experiments.figures import fig4c
+from repro.experiments.report import render_comparison, render_figure
+
+
+def test_fig4c(benchmark, tickets_data, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig4c(
+            tickets_data,
+            size=2700,
+            ranges_per_query=10,
+            cell_counts=(2000, 600, 200, 60, 20),
+            n_queries=30,
+            repeats=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_figure(result)
+    text += "\n" + render_comparison(result, baseline="obliv", target="aware")
+    emit(results_dir, "fig4c", text)
+    assert len(result.series["aware"]) == 5

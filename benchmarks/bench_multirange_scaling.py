@@ -1,0 +1,71 @@
+"""Lemma 4 / Section 1.1: multi-range error scaling.
+
+For a query spanning L disjoint ranges, a sample's error grows like
+sqrt(L) while a deterministic summary's error grows linearly in L.  We
+fix the per-range weight (cells of an equal-weight partition) and sweep
+L, then fit log-log slopes; the sample's slope should be well below the
+deterministic summary's.
+"""
+
+import math
+
+import numpy as np
+
+from conftest import emit
+from repro.datagen.queries import uniform_weight_queries
+from repro.experiments.harness import build_summary, ground_truths
+from repro.experiments.report import FigureResult, render_figure
+
+
+def _loglog_slope(points):
+    xs = np.log([x for x, _ in points])
+    ys = np.log([max(y, 1e-12) for _, y in points])
+    slope, _intercept = np.polyfit(xs, ys, 1)
+    return float(slope)
+
+
+def test_multirange_error_scaling(benchmark, network_data, results_dir):
+    n_cells = 512  # fixed per-range weight ~ W/512
+    range_counts = (1, 2, 4, 8, 16, 32)
+
+    def run():
+        result = FigureResult(
+            "Lemma 4 validation",
+            "error vs ranges per query (fixed per-range weight)",
+            "ranges per query",
+            "mean absolute error",
+        )
+        rng = np.random.default_rng(3)
+        summaries = {
+            name: build_summary(
+                name, network_data, 2000, np.random.default_rng(7)
+            )[0]
+            for name in ("aware", "obliv", "qdigest")
+        }
+        for n_ranges in range_counts:
+            queries = uniform_weight_queries(
+                network_data, 40, n_ranges, n_cells, rng=rng
+            )
+            truths = ground_truths(network_data, queries)
+            for name, summary in summaries.items():
+                estimates = np.asarray(summary.query_many(queries))
+                err = float(
+                    np.abs(estimates - truths).mean()
+                    / network_data.total_weight
+                )
+                result.add_point(name, n_ranges, err)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    slopes = {
+        name: _loglog_slope(points)
+        for name, points in result.series.items()
+    }
+    text = render_figure(result)
+    text += "\nlog-log slopes (samples ~0.5, deterministic ~1.0): " + ", ".join(
+        f"{name}={slope:.2f}" for name, slope in sorted(slopes.items())
+    )
+    emit(results_dir, "multirange_scaling", text)
+    # Samples scale ~sqrt(L); the deterministic summary scales ~L.
+    assert slopes["aware"] < slopes["qdigest"]
+    assert slopes["obliv"] < slopes["qdigest"]

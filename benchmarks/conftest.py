@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_figNx`` file regenerates one figure of the paper's
+evaluation; results are printed and also written to
+``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from a run.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.datagen.network import NetworkConfig, generate_network_flows
+from repro.datagen.tickets import TicketConfig, generate_tickets
+
+#: Scale of the benchmark datasets relative to the paper's (~10%).
+BENCH_NETWORK = NetworkConfig(n_pairs=20_000, n_sources=6_000, n_dests=5_000)
+BENCH_TICKETS = TicketConfig(n_combinations=20_000)
+
+
+@pytest.fixture(scope="session")
+def network_data():
+    """Synthetic network-flow dataset for the benchmarks."""
+    return generate_network_flows(BENCH_NETWORK, seed=42)
+
+
+@pytest.fixture(scope="session")
+def tickets_data():
+    """Synthetic tech-ticket dataset for the benchmarks."""
+    return generate_tickets(BENCH_TICKETS, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where figure tables are written."""
+    path = pathlib.Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def emit(results_dir, name, text):
+    """Print a figure table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

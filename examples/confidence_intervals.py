@@ -1,0 +1,56 @@
+"""Confidence intervals from the paper's exponential tail bounds.
+
+Samples are not just point estimators: because VarOpt samples obey the
+Chernoff-style bound of eq. (4), every range estimate carries a
+conservative confidence interval obtained by inverting that bound.
+This script measures empirical coverage and width.
+
+Run:  python examples/confidence_intervals.py
+"""
+
+import numpy as np
+
+from repro import Box, ExactSummary
+from repro.core.varopt import varopt_summary
+from repro.datagen import NetworkConfig, generate_network_flows
+
+
+def main():
+    data = generate_network_flows(
+        NetworkConfig(n_pairs=8000, n_sources=2500, n_dests=2000),
+        seed=3,
+    )
+    exact = ExactSummary(data)
+    half = data.domain.sizes[0] // 2
+    box = Box((0, 0), (half - 1, data.domain.sizes[1] - 1))
+    truth = exact.query(box)
+    total = data.total_weight
+    print(
+        f"query: lower half of the source space "
+        f"(true weight {truth:,.0f} = {truth / total:.1%} of total)\n"
+    )
+
+    for s in (200, 1000, 4000):
+        widths = []
+        covered = 0
+        trials = 200
+        for t in range(trials):
+            summary = varopt_summary(data, s, np.random.default_rng(t))
+            lo, hi = summary.confidence_interval(box, delta=0.1)
+            widths.append(hi - lo)
+            if lo <= truth <= hi:
+                covered += 1
+        print(
+            f"s={s:5d}: 90% CI width {np.mean(widths):10,.0f} "
+            f"({np.mean(widths) / total:6.2%} of total), "
+            f"empirical coverage {covered / trials:.1%}"
+        )
+
+    print(
+        "\nCoverage should be >= 90% (the eq. (4) bound is conservative)"
+        "\nand the width shrinks roughly like 1/sqrt(s)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` uses this via the legacy code path when PEP 660
+editable builds are unavailable (e.g. offline machines without wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Structure-aware VarOpt samplers (paper Sections 3-4).
+
+Each sampler is the probabilistic-aggregation framework instantiated
+with a structure-specific pair-selection rule:
+
+* order (all intervals)           -> Δ < 2      (:mod:`order_sampler`)
+* hierarchy (all subtree ranges)  -> Δ < 1      (:mod:`hierarchy_sampler`)
+* disjoint ranges (a partition)   -> Δ < 1      (:mod:`disjoint`)
+* d-dim product (boxes)           -> O(d s^((d-1)/d)) (:mod:`product_sampler`)
+
+:mod:`systematic` provides the deterministic-offset order sample with
+Δ < 1 that satisfies only VarOpt conditions (i)-(ii) (Appendix D).
+"""
+
+from repro.aware.order_sampler import order_aware_sample, order_aware_summary
+from repro.aware.hierarchy_sampler import (
+    hierarchy_aware_sample,
+    hierarchy_aware_summary,
+)
+from repro.aware.disjoint import disjoint_aware_sample, disjoint_aware_summary
+from repro.aware.kd import KDNode, build_kd_hierarchy, kd_leaf_boxes
+from repro.aware.product_sampler import (
+    product_aware_sample,
+    product_aware_summary,
+)
+from repro.aware.systematic import (
+    deterministic_order_sample,
+    systematic_sample,
+    systematic_summary,
+)
+from repro.aware.uniform_grid import boundary_cell_count, uniform_grid_sample
+
+__all__ = [
+    "deterministic_order_sample",
+    "uniform_grid_sample",
+    "boundary_cell_count",
+    "order_aware_sample",
+    "order_aware_summary",
+    "hierarchy_aware_sample",
+    "hierarchy_aware_summary",
+    "disjoint_aware_sample",
+    "disjoint_aware_summary",
+    "KDNode",
+    "build_kd_hierarchy",
+    "kd_leaf_boxes",
+    "product_aware_sample",
+    "product_aware_summary",
+    "systematic_sample",
+    "systematic_summary",
+]

@@ -1,0 +1,251 @@
+"""KD-HIERARCHY (paper Algorithm 2): probability-balanced kd-trees.
+
+The kd-tree partitions a d-dimensional key set by cutting axes in
+round-robin order at the *weighted median* of the probability mass, so
+that leaves ("unit cells") carry approximately equal mass.  Because the
+axes rotate, any axis-parallel hyperplane cuts only O(s^((d-1)/d))
+leaves (Lemma 6), which is what bounds the product-structure
+discrepancy.
+
+Hierarchy axes are cut along their DFS linearization (leaf numbering),
+which is one valid linearization of the hierarchy; the paper allows
+optimizing over all linearizations (Algorithm 2 line 13) -- see
+DESIGN.md for this documented simplification.
+
+The tree doubles as a locator (``locate`` walks a point to its leaf),
+which the two-pass pipeline uses as its partition of the key domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.structures.product import ProductDomain
+from repro.structures.ranges import Box
+
+
+@dataclass
+class KDNode:
+    """A node of the kd-hierarchy.
+
+    Leaves carry ``indices`` (positions into the coordinate array the
+    tree was built from) and a ``cell_id``; internal nodes carry the
+    splitting ``axis`` and ``split_value`` (left children satisfy
+    ``coord[axis] <= split_value``).
+    """
+
+    mass: float
+    box: Optional[Box] = None
+    axis: int = -1
+    split_value: int = 0
+    left: Optional["KDNode"] = None
+    right: Optional["KDNode"] = None
+    indices: Optional[np.ndarray] = None
+    cell_id: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node is a leaf cell."""
+        return self.left is None
+
+    def locate(self, point: Sequence[int]) -> "KDNode":
+        """Walk a coordinate tuple down to its leaf cell."""
+        node = self
+        while not node.is_leaf:
+            if point[node.axis] <= node.split_value:
+                node = node.left
+            else:
+                node = node.right
+        return node
+
+
+def _weighted_median_split(
+    values: np.ndarray, masses: np.ndarray
+) -> Optional[Tuple[int, float]]:
+    """Best split value on one axis, or ``None`` if the axis is constant.
+
+    Returns ``(split_value, imbalance)`` where left = ``value <=
+    split_value`` is non-empty, right is non-empty, and the absolute
+    difference of the two sides' masses is minimized (Algorithm 2
+    line 9).
+    """
+    order = np.argsort(values, kind="stable")
+    sorted_vals = values[order]
+    if sorted_vals[0] == sorted_vals[-1]:
+        return None
+    sorted_mass = masses[order]
+    # Candidate cuts lie between runs of distinct values.
+    change = np.flatnonzero(np.diff(sorted_vals)) + 1
+    cums = np.cumsum(sorted_mass)
+    total = cums[-1]
+    left_masses = cums[change - 1]
+    imbalance = np.abs(total - 2.0 * left_masses)
+    best = int(np.argmin(imbalance))
+    split_value = int(sorted_vals[change[best] - 1])
+    return split_value, float(imbalance[best])
+
+
+def _midpoint_split(
+    values: np.ndarray, box_side: Tuple[int, int]
+) -> Optional[int]:
+    """Dyadic midpoint split of the cell's box side (ablation rule)."""
+    lo, hi = box_side
+    if lo >= hi:
+        return None
+    mid = (lo + hi) // 2
+    has_left = bool((values <= mid).any())
+    has_right = bool((values > mid).any())
+    if not (has_left and has_right):
+        return None
+    return mid
+
+
+def build_kd_hierarchy(
+    coords: np.ndarray,
+    masses: np.ndarray,
+    domain: Optional[ProductDomain] = None,
+    leaf_mass: float = 1.0,
+    split_rule: str = "median",
+) -> KDNode:
+    """Build the KD-HIERARCHY over a weighted point set.
+
+    Parameters
+    ----------
+    coords:
+        ``(n, d)`` integer coordinates.
+    masses:
+        Per-point non-negative mass (IPPS probabilities for sampling;
+        raw weights for query generation).
+    domain:
+        Optional product domain; when given, nodes carry their covering
+        :class:`Box` (needed by the ``midpoint`` rule, partition cells
+        and query generators).
+    leaf_mass:
+        Recursion stops when a cell's mass is <= this (the paper's unit
+        cells use 1.0).  Use 0 to split all the way to single distinct
+        points.
+    split_rule:
+        ``"median"`` (Algorithm 2) or ``"midpoint"`` (ablation).
+
+    Returns
+    -------
+    The root :class:`KDNode`; leaves have consecutive ``cell_id`` values
+    starting at 0.
+    """
+    coords = np.atleast_2d(np.asarray(coords))
+    masses = np.asarray(masses, dtype=float)
+    if coords.shape[0] != masses.shape[0]:
+        raise ValueError("coords and masses must have matching length")
+    if split_rule not in ("median", "midpoint"):
+        raise ValueError(f"unknown split rule: {split_rule}")
+    if split_rule == "midpoint" and domain is None:
+        raise ValueError("midpoint splitting requires a domain")
+    dims = coords.shape[1]
+    root_box = domain.full_box() if domain is not None else None
+    root = KDNode(mass=float(masses.sum()), box=root_box)
+    next_cell_id = 0
+    stack: List[Tuple[KDNode, np.ndarray, int]] = [
+        (root, np.arange(coords.shape[0]), 0)
+    ]
+    while stack:
+        node, indices, depth = stack.pop()
+        node.mass = float(masses[indices].sum())
+        if node.mass <= leaf_mass or indices.size <= 1:
+            node.indices = indices
+            node.cell_id = next_cell_id
+            next_cell_id += 1
+            continue
+        split = _choose_split(
+            coords, masses, indices, depth, dims, node.box, split_rule
+        )
+        if split is None:
+            # Every axis is constant on this cell: duplicate points.
+            node.indices = indices
+            node.cell_id = next_cell_id
+            next_cell_id += 1
+            continue
+        axis, split_value = split
+        node.axis = axis
+        node.split_value = split_value
+        left_mask = coords[indices, axis] <= split_value
+        left_idx = indices[left_mask]
+        right_idx = indices[~left_mask]
+        left_box = right_box = None
+        if node.box is not None:
+            lo, hi = node.box.side(axis)
+            if lo <= split_value < hi:
+                left_box, right_box = node.box.split(axis, split_value)
+            else:  # degenerate box side; children inherit the box
+                left_box = right_box = node.box
+        node.left = KDNode(mass=0.0, box=left_box)
+        node.right = KDNode(mass=0.0, box=right_box)
+        stack.append((node.left, left_idx, depth + 1))
+        stack.append((node.right, right_idx, depth + 1))
+    return root
+
+
+def _choose_split(coords, masses, indices, depth, dims, box, split_rule):
+    """Pick the split axis/value, cycling axes from ``depth % dims``."""
+    for offset in range(dims):
+        axis = (depth + offset) % dims
+        values = coords[indices, axis]
+        if split_rule == "midpoint":
+            mid = _midpoint_split(values, box.side(axis))
+            if mid is not None:
+                return axis, mid
+            continue
+        result = _weighted_median_split(values, masses[indices])
+        if result is not None:
+            return axis, result[0]
+    return None
+
+
+def kd_leaves(root: KDNode) -> List[KDNode]:
+    """All leaf cells in ``cell_id`` order."""
+    leaves: List[KDNode] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            leaves.append(node)
+        else:
+            stack.append(node.right)
+            stack.append(node.left)
+    leaves.sort(key=lambda leaf: leaf.cell_id)
+    return leaves
+
+
+def kd_leaf_boxes(root: KDNode) -> List[Box]:
+    """Boxes of all leaves (requires the tree to have been built with a domain)."""
+    boxes = []
+    for leaf in kd_leaves(root):
+        if leaf.box is None:
+            raise ValueError("tree was built without a domain; no boxes")
+        boxes.append(leaf.box)
+    return boxes
+
+
+def kd_depth(root: KDNode) -> int:
+    """Maximum leaf depth of the tree."""
+    best = 0
+    stack = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if node.is_leaf:
+            best = max(best, depth)
+        else:
+            stack.append((node.left, depth + 1))
+            stack.append((node.right, depth + 1))
+    return best
+
+
+def kd_cell_ids(root: KDNode, coords: np.ndarray) -> np.ndarray:
+    """Locate many points: the ``cell_id`` of each coordinate row."""
+    coords = np.atleast_2d(np.asarray(coords))
+    out = np.empty(coords.shape[0], dtype=np.int64)
+    for i, row in enumerate(coords):
+        out[i] = root.locate(row).cell_id
+    return out

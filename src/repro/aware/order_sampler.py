@@ -1,0 +1,77 @@
+"""Order-structure aware sampling: OSSUMMARIZE (paper Algorithm 5).
+
+Keys are processed in sorted order keeping a single *active* (leftover)
+key; each step pair-aggregates the active key with the next fractional
+key.  This is the special case of the hierarchy rule on a path-shaped
+hierarchy, and guarantees:
+
+* every prefix of the order holds floor/ceil of its expected count, so
+* every interval has discrepancy Δ < 2 (Theorem 1(i)), which Theorem
+  1(ii) shows is the best possible for a VarOpt sample.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.aggregation import (
+    aggregate_pool,
+    finalize_leftover,
+    included_indices,
+)
+from repro.core.estimator import SampleSummary
+from repro.core.ipps import ipps_probabilities
+from repro.core.types import Dataset
+
+
+def order_aware_sample(
+    keys: np.ndarray,
+    weights: np.ndarray,
+    s: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, float, np.ndarray]:
+    """VarOpt_s sample with interval discrepancy < 2.
+
+    Parameters
+    ----------
+    keys:
+        Integer key values defining the order (need not be sorted or
+        distinct).
+    weights:
+        Matching non-negative weights.
+    s:
+        Target sample size.
+    rng:
+        Randomness source.
+
+    Returns
+    -------
+    (included, tau, probs):
+        Indices (into the input arrays) of the sampled keys, the IPPS
+        threshold, and the original IPPS probability vector (useful for
+        discrepancy measurement).
+    """
+    keys = np.asarray(keys)
+    weights = np.asarray(weights, dtype=float)
+    p, tau = ipps_probabilities(weights, s)
+    p_initial = p.copy()
+    order = np.argsort(keys, kind="stable")
+    fractional = [int(i) for i in order if 0.0 < p[i] < 1.0]
+    leftover = aggregate_pool(p, fractional, rng)
+    finalize_leftover(p, leftover, rng)
+    return included_indices(p), tau, p_initial
+
+
+def order_aware_summary(
+    dataset: Dataset, s: float, rng: np.random.Generator
+) -> SampleSummary:
+    """Order-aware VarOpt summary of a 1-D dataset."""
+    keys = dataset.keys_1d()
+    included, tau, _probs = order_aware_sample(keys, dataset.weights, s, rng)
+    return SampleSummary(
+        coords=dataset.coords[included],
+        weights=dataset.weights[included],
+        tau=tau,
+    )

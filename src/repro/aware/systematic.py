@@ -1,0 +1,92 @@
+"""Systematic IPPS sampling over an order (paper Appendix D).
+
+Associate key i with the interval ``H_i = (C_{i-1}, C_i]`` of the
+cumulative IPPS probabilities; draw a single uniform offset ``alpha``
+and include every key whose interval contains ``h + alpha`` for some
+integer ``h``.  The result satisfies VarOpt conditions (i) inclusion
+probabilities and (ii) fixed size, achieves interval discrepancy
+Δ < 1 -- strictly better than any true VarOpt sample (Theorem 1(ii))
+-- but violates condition (iii): inclusions are positively correlated,
+so some subset estimates have high variance and the Chernoff bounds do
+not apply.  It is included both as the paper describes it and as a foil
+for tests demonstrating *why* VarOpt matters.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.estimator import SampleSummary
+from repro.core.ipps import ipps_probabilities
+from repro.core.types import Dataset
+
+
+def systematic_sample(
+    keys: np.ndarray,
+    weights: np.ndarray,
+    s: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, float, np.ndarray]:
+    """Systematic IPPS sample over the sorted key order.
+
+    Returns ``(included, tau, probs)``.  Keys with probability one are
+    always included (their ``H_i`` interval has length >= 1).
+    """
+    keys = np.asarray(keys)
+    weights = np.asarray(weights, dtype=float)
+    p, tau = ipps_probabilities(weights, s)
+    order = np.argsort(keys, kind="stable")
+    cums = np.cumsum(p[order])
+    alpha = float(rng.random())
+    # Key (in sorted position k) is included iff (C_{k-1}, C_k] contains
+    # a point of alpha + Z, i.e. iff floor(C_k - alpha) > floor(C_{k-1} - alpha).
+    shifted = np.floor(cums - alpha)
+    prev = np.concatenate(([np.floor(-alpha)], shifted[:-1]))
+    hit = shifted > prev
+    included = np.sort(order[hit])
+    return included, tau, p
+
+
+def deterministic_order_sample(
+    keys: np.ndarray,
+    weights: np.ndarray,
+    s: float,
+) -> Tuple[np.ndarray, float, np.ndarray]:
+    """The deterministic Delta < 1 set of Appendix D (no randomness).
+
+    Includes every key whose cumulative-probability interval ``H_i``
+    contains an integer.  The result has interval discrepancy < 1 but
+    is *not* a sample at all: per-key inclusion is deterministic, so HT
+    estimates of individual keys are biased.  Included as the paper
+    describes it, as a contrast to the VarOpt guarantees.
+    """
+    keys = np.asarray(keys)
+    weights = np.asarray(weights, dtype=float)
+    p, tau = ipps_probabilities(weights, s)
+    order = np.argsort(keys, kind="stable")
+    cums = np.cumsum(p[order])
+    # Snap near-integer cumulative sums so float drift cannot lose the
+    # final crossing (the total is integral by construction).
+    rounded = np.round(cums)
+    cums = np.where(np.abs(cums - rounded) < 1e-9, rounded, cums)
+    shifted = np.floor(cums)
+    prev = np.concatenate(([0.0], shifted[:-1]))
+    hit = shifted > prev
+    included = np.sort(order[hit])
+    return included, tau, p
+
+
+def systematic_summary(
+    dataset: Dataset, s: float, rng: np.random.Generator
+) -> SampleSummary:
+    """Systematic-sampling summary of a 1-D dataset."""
+    included, tau, _probs = systematic_sample(
+        dataset.keys_1d(), dataset.weights, s, rng
+    )
+    return SampleSummary(
+        coords=dataset.coords[included],
+        weights=dataset.weights[included],
+        tau=tau,
+    )

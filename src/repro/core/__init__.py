@@ -1,0 +1,51 @@
+"""Core sampling substrate: IPPS, probabilistic aggregation, VarOpt,
+Poisson, Horvitz-Thompson estimation, tail bounds and discrepancy
+measurement.
+"""
+
+from repro.core.types import Dataset
+from repro.core.ipps import (
+    ipps_threshold,
+    ipps_probabilities,
+    StreamingThreshold,
+    heavy_key_mask,
+)
+from repro.core.aggregation import (
+    pair_aggregate,
+    pair_aggregate_values,
+    aggregate_pool,
+    finalize_leftover,
+    included_indices,
+)
+from repro.core.varopt import (
+    varopt_sample,
+    varopt_summary,
+    StreamVarOpt,
+    stream_varopt_summary,
+)
+from repro.core.poisson import poisson_sample, poisson_summary
+from repro.core.estimator import SampleSummary, summary_from_inclusion
+from repro.core import bounds, discrepancy
+
+__all__ = [
+    "Dataset",
+    "ipps_threshold",
+    "ipps_probabilities",
+    "StreamingThreshold",
+    "heavy_key_mask",
+    "pair_aggregate",
+    "pair_aggregate_values",
+    "aggregate_pool",
+    "finalize_leftover",
+    "included_indices",
+    "varopt_sample",
+    "varopt_summary",
+    "StreamVarOpt",
+    "stream_varopt_summary",
+    "poisson_sample",
+    "poisson_summary",
+    "SampleSummary",
+    "summary_from_inclusion",
+    "bounds",
+    "discrepancy",
+]

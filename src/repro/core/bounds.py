@@ -1,0 +1,102 @@
+"""Tail bounds and sample-size bounds (paper Appendix A).
+
+Chernoff bounds apply to both Poisson IPPS and VarOpt samples (the
+latter by the negative-association style arguments of [18, 23, 10, 8]),
+so the number of samples hitting any subset concentrates around its
+expectation; combined with bounded VC dimension this yields the
+O(sqrt(s log s)) structure-oblivious discrepancy that the
+structure-aware schemes beat.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def chernoff_upper_tail(mu: float, a: float) -> float:
+    """Bound on ``Pr[X >= a]`` for a sum of [0,1] vars with mean ``mu``.
+
+    The simplified form of paper eq. (2): ``e^(a-mu) * (mu/a)^a`` for
+    ``a > mu`` (returns 1.0 when the bound is vacuous).
+    """
+    if a <= mu or mu < 0:
+        return 1.0
+    if mu == 0:
+        return 0.0
+    log_bound = (a - mu) + a * math.log(mu / a)
+    return min(1.0, math.exp(log_bound))
+
+
+def chernoff_lower_tail(mu: float, a: float) -> float:
+    """Bound on ``Pr[X <= a]`` for ``a < mu`` (paper eq. (3) simplified)."""
+    if a >= mu:
+        return 1.0
+    if a < 0:
+        return 0.0
+    if a == 0:
+        return min(1.0, math.exp(-mu))
+    log_bound = (a - mu) + a * math.log(mu / a)
+    return min(1.0, math.exp(log_bound))
+
+
+def estimate_tail_bound(true_weight: float, h: float, tau: float) -> float:
+    """Bound on ``Pr[a(J) >= h]`` (or ``<= h``) -- paper eq. (4).
+
+    For a subset ``J`` of light keys with total weight ``true_weight``,
+    the HT estimate ``a(J) = tau * |J âˆ© S|`` deviates to ``h`` with
+    probability at most ``e^((h-w)/tau) * (w/h)^(h/tau)``.
+    """
+    if tau <= 0:
+        return 0.0 if h != true_weight else 1.0
+    if h <= 0 or true_weight <= 0:
+        return 1.0
+    log_bound = (h - true_weight) / tau + (h / tau) * math.log(true_weight / h)
+    return min(1.0, math.exp(log_bound))
+
+
+def expected_discrepancy(mu: float) -> float:
+    """The O(sqrt(mu)) expected discrepancy of an oblivious sample.
+
+    For Poisson/VarOpt samples the count in a range with expectation
+    ``mu`` has standard deviation at most ``sqrt(mu)``; this returns
+    that scale (used as the oblivious reference line in experiments).
+    """
+    return math.sqrt(max(0.0, mu))
+
+
+def eps_approximation_size(
+    eps: float, vc_dim: int, delta: float, constant: float = 8.0
+) -> int:
+    """Sample size from the Vapnik-Chervonenkis theorem (paper Thm 2).
+
+    ``s = c/eps^2 * (d log(d/eps) + log(1/delta))`` is an
+    eps-approximation of any range space with VC dimension ``d`` with
+    probability ``1 - delta``.
+    """
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0, 1)")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    if vc_dim < 1:
+        raise ValueError("VC dimension must be >= 1")
+    term = vc_dim * math.log(vc_dim / eps) + math.log(1.0 / delta)
+    return int(math.ceil(constant / (eps * eps) * term))
+
+
+def oblivious_max_discrepancy(s: int) -> float:
+    """The O(sqrt(s log s)) w.h.p. max range discrepancy of oblivious samples.
+
+    Appendix A derives this from the VC theorem for constant-VC range
+    spaces; structure-aware samples replace it with O(1) (hierarchy,
+    order) or O(d s^((d-1)/d)) (product).
+    """
+    if s < 2:
+        return float(s)
+    return math.sqrt(s * math.log(s))
+
+
+def product_structure_discrepancy(s: int, d: int) -> float:
+    """The 2d * s^((d-1)/d) discrepancy scale of Section 4."""
+    if s < 1 or d < 1:
+        raise ValueError("s and d must be >= 1")
+    return 2.0 * d * s ** ((d - 1) / d)

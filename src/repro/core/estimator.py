@@ -1,0 +1,223 @@
+"""Horvitz-Thompson estimation from IPPS samples.
+
+A sample summary stores the sampled keys together with their adjusted
+weights ``a(i) = w_i / p_i`` (paper Appendix A).  Under IPPS with
+threshold ``tau`` this is ``w_i`` for heavy keys (``w_i >= tau``) and
+``tau`` for the rest, so any subset-sum estimate is the exact heavy
+weight plus ``tau`` times the number of light sampled keys -- eq. (1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.structures.ranges import Box, MultiRangeQuery
+
+
+@dataclass
+class SampleSummary:
+    """An IPPS/VarOpt sample with Horvitz-Thompson adjusted weights.
+
+    Attributes
+    ----------
+    coords:
+        ``(m, d)`` coordinates of the sampled keys.
+    weights:
+        Original weights of the sampled keys.
+    tau:
+        The IPPS threshold the sample was drawn with (0 means every
+        positive-weight key was included exactly).
+    """
+
+    coords: np.ndarray
+    weights: np.ndarray
+    tau: float
+
+    def __post_init__(self):
+        self.coords = np.atleast_2d(np.asarray(self.coords, dtype=np.int64))
+        self.weights = np.asarray(self.weights, dtype=float)
+        if self.coords.shape[0] != self.weights.shape[0]:
+            raise ValueError("coords and weights must have matching length")
+        if self.tau < 0:
+            raise ValueError("tau must be non-negative")
+
+    @property
+    def size(self) -> int:
+        """Number of sampled keys (the summary footprint in elements)."""
+        return self.coords.shape[0]
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the sampled keys."""
+        return self.coords.shape[1] if self.size else 0
+
+    @property
+    def adjusted_weights(self) -> np.ndarray:
+        """Per-key Horvitz-Thompson adjusted weights."""
+        if self.tau == 0.0:
+            return self.weights.copy()
+        return np.maximum(self.weights, self.tau)
+
+    def estimate_total(self) -> float:
+        """Unbiased estimate of the total weight of the data set."""
+        return float(self.adjusted_weights.sum())
+
+    def query(self, box: Box) -> float:
+        """Unbiased estimate of the weight inside ``box``."""
+        if self.size == 0:
+            return 0.0
+        mask = box.contains(self.coords)
+        return float(self.adjusted_weights[mask].sum())
+
+    def query_multi(self, query: MultiRangeQuery) -> float:
+        """Unbiased estimate of the weight inside a union of boxes."""
+        if self.size == 0:
+            return 0.0
+        mask = query.contains(self.coords)
+        return float(self.adjusted_weights[mask].sum())
+
+    def query_many(self, queries) -> list:
+        """Estimates for a batch of multi-range queries.
+
+        Mirrors :meth:`repro.summaries.base.Summary.query_many` so that
+        samples and dedicated summaries share the harness interface.
+        """
+        return [self.query_multi(q) for q in queries]
+
+    def estimate_subset(
+        self, predicate: Callable[[np.ndarray], np.ndarray]
+    ) -> float:
+        """Unbiased estimate for an arbitrary subset.
+
+        ``predicate`` receives the ``(m, d)`` coordinate array and
+        returns a boolean mask.  This is the flexibility samples offer
+        beyond range queries: the predicate is specified *after* the
+        summary was built.
+        """
+        if self.size == 0:
+            return 0.0
+        mask = np.asarray(predicate(self.coords), dtype=bool)
+        return float(self.adjusted_weights[mask].sum())
+
+    def representatives(self, box: Box, k: Optional[int] = None) -> np.ndarray:
+        """Representative sampled keys inside ``box`` (heaviest first).
+
+        Dedicated summaries cannot provide representative keys of a
+        selected subset; samples can (Section 1).
+        """
+        if self.size == 0:
+            return np.empty((0, self.dims), dtype=np.int64)
+        mask = box.contains(self.coords)
+        selected = self.coords[mask]
+        adj = self.adjusted_weights[mask]
+        order = np.argsort(adj)[::-1]
+        selected = selected[order]
+        if k is not None:
+            selected = selected[:k]
+        return selected
+
+    def sampled_count(self, box: Box) -> int:
+        """Number of sampled keys falling in ``box``."""
+        if self.size == 0:
+            return 0
+        return int(box.contains(self.coords).sum())
+
+    def variance_upper_bound(self, box: Box) -> float:
+        """Upper bound on the HT estimator's variance inside ``box``.
+
+        Per-key variance under IPPS is ``w_i (tau - w_i)`` for light
+        keys and 0 for heavy keys (Appendix A); summing the sampled
+        light keys' ``tau^2 (1 - w_i/tau) / (w_i/tau) * (w_i/tau)`` ...
+        reduces to an unbiased-in-expectation plug-in
+        ``sum_{i in S, light} tau * (tau - w_i)``.  For VarOpt samples
+        the true variance is no larger (joint inclusions are negatively
+        correlated), so this is a conservative bound.
+        """
+        if self.size == 0 or self.tau == 0.0:
+            return 0.0
+        mask = box.contains(self.coords)
+        w = self.weights[mask]
+        light = w < self.tau
+        return float((self.tau * (self.tau - w[light])).sum())
+
+    def confidence_interval(
+        self, box: Box, delta: float = 0.05
+    ) -> tuple:
+        """A (1 - delta) confidence interval for the weight in ``box``.
+
+        Inverts the paper's eq. (4) tail bound numerically: the
+        interval contains every candidate true weight whose probability
+        of producing an estimate at least/most as extreme as the
+        observed one exceeds delta/2 per side.  Conservative (the bound
+        itself is not tight).
+        """
+        import math
+
+        from repro.core.bounds import estimate_tail_bound
+
+        if not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        estimate = self.query(box)
+        if self.tau == 0.0:
+            return (estimate, estimate)
+        half = delta / 2.0
+        tau = self.tau
+        # The estimate decomposes into exact heavy weight + tau * count
+        # over light sampled keys; only the light part is uncertain.
+        mask = box.contains(self.coords)
+        w = self.weights[mask]
+        heavy_part = float(w[w >= tau].sum())
+        light_est = max(0.0, estimate - heavy_part)
+
+        def tail_probability(candidate: float) -> float:
+            """Bound on Pr[light estimate as extreme as observed | candidate]."""
+            if light_est == 0.0:
+                # Pr[count == 0] <= e^(-candidate/tau).
+                return math.exp(-candidate / tau)
+            return estimate_tail_bound(candidate, light_est, tau)
+
+        span = 10.0 * tau * (math.sqrt(light_est / tau + 1.0) + 1.0)
+        # Lower endpoint: smallest candidate still plausible.  The tail
+        # bound increases in the candidate on [0, light_est].
+        lo, hi = 0.0, light_est
+        for _ in range(60):
+            mid = (lo + hi) / 2.0
+            if tail_probability(mid) > half:
+                hi = mid
+            else:
+                lo = mid
+        lower = hi if light_est > 0 else 0.0
+        # Upper endpoint: largest candidate still plausible.  The tail
+        # bound decreases in the candidate on [light_est, inf).
+        lo, hi = light_est, light_est + span
+        for _ in range(60):
+            mid = (lo + hi) / 2.0
+            if tail_probability(mid) > half:
+                lo = mid
+            else:
+                hi = mid
+        upper = lo
+        return (heavy_part + lower, heavy_part + upper)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SampleSummary(size={self.size}, tau={self.tau:.6g})"
+
+
+def summary_from_inclusion(
+    coords: np.ndarray,
+    weights: np.ndarray,
+    included: np.ndarray,
+    tau: float,
+) -> SampleSummary:
+    """Build a :class:`SampleSummary` from an inclusion mask/index array."""
+    coords = np.atleast_2d(np.asarray(coords))
+    if coords.shape[0] != np.asarray(weights).shape[0] and coords.shape[1] == np.asarray(weights).shape[0]:
+        coords = coords.T
+    return SampleSummary(
+        coords=coords[included],
+        weights=np.asarray(weights, dtype=float)[included],
+        tau=tau,
+    )

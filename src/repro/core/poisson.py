@@ -1,0 +1,44 @@
+"""Poisson IPPS sampling.
+
+Each key is included independently with its IPPS probability
+``min(1, w_i / tau_s)``.  The sample size is ``s`` only in expectation;
+VarOpt improves on this with a fixed size and no-worse subset variance
+(paper Appendix A).  Poisson sampling is used here as the pass-1 guide
+sample option of the two-pass pipeline and as a comparison point in
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.estimator import SampleSummary
+from repro.core.ipps import ipps_probabilities
+from repro.core.types import Dataset
+
+
+def poisson_sample(
+    weights: np.ndarray, s: float, rng: np.random.Generator
+) -> Tuple[np.ndarray, float]:
+    """Poisson IPPS sample of a weight vector.
+
+    Returns ``(included_indices, tau)``; the number of included keys has
+    expectation ``min(s, #positive keys)``.
+    """
+    p, tau = ipps_probabilities(np.asarray(weights, dtype=float), s)
+    draws = rng.random(p.shape[0])
+    return np.flatnonzero(draws < p), tau
+
+
+def poisson_summary(
+    dataset: Dataset, s: float, rng: np.random.Generator
+) -> SampleSummary:
+    """Poisson IPPS summary of a dataset."""
+    included, tau = poisson_sample(dataset.weights, s, rng)
+    return SampleSummary(
+        coords=dataset.coords[included],
+        weights=dataset.weights[included],
+        tau=tau,
+    )

@@ -1,0 +1,135 @@
+"""Core data model: weighted keyed datasets.
+
+The paper models data as (key, weight) pairs with keys drawn from a
+structured domain.  :class:`Dataset` stores integer coordinates (one
+column per axis) plus non-negative float weights and the
+:class:`~repro.structures.product.ProductDomain` describing the
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.structures.product import ProductDomain, line_domain
+
+
+@dataclass
+class Dataset:
+    """A table of weighted keys over a structured domain.
+
+    Attributes
+    ----------
+    coords:
+        ``(n, d)`` integer array; row i is key i's coordinates.
+    weights:
+        ``(n,)`` non-negative float array.
+    domain:
+        The product domain the keys live in.
+    """
+
+    coords: np.ndarray
+    weights: np.ndarray
+    domain: ProductDomain
+
+    def __post_init__(self):
+        self.coords = np.atleast_2d(np.asarray(self.coords, dtype=np.int64))
+        if self.coords.shape[0] == 1 and self.coords.shape[1] > 1 and self.domain.dims == 1:
+            # A flat list of 1-D keys was passed; make it a column.
+            self.coords = self.coords.T
+        self.weights = np.asarray(self.weights, dtype=float)
+        if self.coords.shape[0] != self.weights.shape[0]:
+            raise ValueError("coords and weights must have matching length")
+        if self.weights.size and float(self.weights.min()) < 0:
+            raise ValueError("weights must be non-negative")
+        self.domain.validate_coords(self.coords)
+
+    @classmethod
+    def from_items(
+        cls,
+        items: Iterable[Tuple[Sequence[int], float]],
+        domain: ProductDomain,
+    ) -> "Dataset":
+        """Build from an iterable of ``(key_tuple, weight)`` pairs."""
+        keys = []
+        weights = []
+        for key, weight in items:
+            if np.isscalar(key):
+                key = (key,)
+            keys.append(tuple(int(k) for k in key))
+            weights.append(float(weight))
+        coords = np.asarray(keys, dtype=np.int64).reshape(len(keys), -1)
+        return cls(coords=coords, weights=np.asarray(weights), domain=domain)
+
+    @classmethod
+    def one_dimensional(
+        cls, keys: Sequence[int], weights: Sequence[float], size: int
+    ) -> "Dataset":
+        """Build a 1-D dataset over an ordered domain of ``size`` values."""
+        coords = np.asarray(keys, dtype=np.int64).reshape(-1, 1)
+        return cls(coords=coords, weights=np.asarray(weights, dtype=float),
+                   domain=line_domain(size))
+
+    @property
+    def n(self) -> int:
+        """Number of keys."""
+        return self.coords.shape[0]
+
+    @property
+    def dims(self) -> int:
+        """Number of coordinate axes."""
+        return self.coords.shape[1]
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all weights."""
+        return float(self.weights.sum())
+
+    def axis(self, a: int) -> np.ndarray:
+        """Coordinate column for axis ``a``."""
+        return self.coords[:, a]
+
+    def keys_1d(self) -> np.ndarray:
+        """The single coordinate column of a 1-D dataset."""
+        if self.dims != 1:
+            raise ValueError("dataset is not one-dimensional")
+        return self.coords[:, 0]
+
+    def iter_items(self) -> Iterator[Tuple[Tuple[int, ...], float]]:
+        """Yield ``(key_tuple, weight)`` pairs, in storage order.
+
+        This is the streaming interface used by the two-pass algorithms:
+        they read the data via this iterator only, never by random
+        access.
+        """
+        for row, weight in zip(self.coords, self.weights):
+            yield tuple(int(x) for x in row), float(weight)
+
+    def subset(self, mask_or_indices) -> "Dataset":
+        """A new dataset restricted to the given rows."""
+        return Dataset(
+            coords=self.coords[mask_or_indices],
+            weights=self.weights[mask_or_indices],
+            domain=self.domain,
+        )
+
+    def aggregate_duplicates(self) -> "Dataset":
+        """Merge duplicate keys, summing their weights."""
+        if self.n == 0:
+            return self
+        uniq, inverse = np.unique(self.coords, axis=0, return_inverse=True)
+        sums = np.zeros(uniq.shape[0], dtype=float)
+        np.add.at(sums, inverse, self.weights)
+        return Dataset(coords=uniq, weights=sums, domain=self.domain)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataset(n={self.n}, dims={self.dims}, "
+            f"total_weight={self.total_weight:.6g})"
+        )

@@ -1,0 +1,204 @@
+"""Structure-oblivious VarOpt sampling (the paper's ``obliv`` baseline).
+
+Two constructions of a VarOpt_s sample:
+
+* :func:`varopt_sample` / :func:`varopt_summary` -- offline: compute the
+  IPPS probabilities and run pair aggregations in random order.  This is
+  the probabilistic-aggregation framework instantiated with
+  structure-*oblivious* pair selection.
+* :class:`StreamVarOpt` -- the one-pass reservoir-style algorithm of
+  Cohen, Duffield, Kaplan, Lund, Thorup (SODA 2009): maintains exact
+  "heavy" items above the current threshold in a min-heap and a light
+  region whose items all share the threshold as adjusted weight;
+  amortized O(log s) per item.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.aggregation import (
+    aggregate_pool,
+    finalize_leftover,
+    included_indices,
+)
+from repro.core.estimator import SampleSummary
+from repro.core.ipps import ipps_probabilities
+from repro.core.types import Dataset
+
+
+def varopt_sample(
+    weights: np.ndarray,
+    s: float,
+    rng: np.random.Generator,
+    order: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, float]:
+    """Offline VarOpt_s sample of a weight vector.
+
+    Returns ``(included_indices, tau)``.  ``order`` fixes the pair
+    aggregation order over the fractional entries; by default a random
+    permutation is used, which makes the sample structure-oblivious.
+    """
+    w = np.asarray(weights, dtype=float)
+    p, tau = ipps_probabilities(w, s)
+    fractional = np.flatnonzero((p > 0.0) & (p < 1.0))
+    if order is None:
+        order = rng.permutation(fractional.size)
+    pool = fractional[order]
+    leftover = aggregate_pool(p, pool.tolist(), rng)
+    finalize_leftover(p, leftover, rng)
+    return included_indices(p), tau
+
+
+def varopt_summary(
+    dataset: Dataset, s: float, rng: np.random.Generator
+) -> SampleSummary:
+    """Offline structure-oblivious VarOpt summary of a dataset."""
+    included, tau = varopt_sample(dataset.weights, s, rng)
+    return SampleSummary(
+        coords=dataset.coords[included],
+        weights=dataset.weights[included],
+        tau=tau,
+    )
+
+
+class StreamVarOpt:
+    """One-pass VarOpt_s reservoir sampling over a weighted stream.
+
+    Feed items with :meth:`feed`; read the sample at any time with
+    :meth:`summary`.  The realized sample size is exactly
+    ``min(s, #positive items fed)``.
+
+    Implementation notes
+    --------------------
+    Light items all behave as if they weigh the current threshold
+    ``tau``, so eviction only needs the light *count* and a uniform
+    choice among lights; heavy items keep exact weights in a min-heap
+    and migrate to the light region as ``tau`` rises past them.
+    """
+
+    def __init__(self, s: int, rng: np.random.Generator):
+        if s < 1:
+            raise ValueError("sample size must be >= 1")
+        self._s = int(s)
+        self._rng = rng
+        self._tau = 0.0
+        self._counter = 0  # tiebreaker for the heap
+        # Heap entries: (weight, counter, key, weight) -- key is any payload.
+        self._heavy: List[Tuple[float, int, tuple, float]] = []
+        # Light entries: (key, original_weight); adjusted weight is tau.
+        self._light: List[Tuple[tuple, float]] = []
+        self._items_seen = 0
+
+    @property
+    def s(self) -> int:
+        """Target sample size."""
+        return self._s
+
+    @property
+    def tau(self) -> float:
+        """Current threshold (equals offline tau_s of the prefix)."""
+        return self._tau
+
+    @property
+    def current_size(self) -> int:
+        """Number of items currently in the reservoir."""
+        return len(self._heavy) + len(self._light)
+
+    def feed(self, key, weight: float) -> None:
+        """Process one stream item."""
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        if weight == 0:
+            return
+        self._items_seen += 1
+        self._push_heavy(key, float(weight))
+        if self.current_size <= self._s:
+            return
+        self._evict_one()
+
+    def feed_many(self, keys: Sequence, weights: Sequence[float]) -> None:
+        """Process a batch of items in order."""
+        for key, weight in zip(keys, weights):
+            self.feed(key, float(weight))
+
+    def _push_heavy(self, key, weight: float) -> None:
+        self._counter += 1
+        heapq.heappush(self._heavy, (weight, self._counter, key, weight))
+
+    def _evict_one(self) -> None:
+        # Build the candidate pool: all light items plus heavy items that
+        # fall at or below the new threshold, found by popping the heap.
+        pool_count = len(self._light)
+        pool_sum = pool_count * self._tau
+        popped: List[Tuple[float, int, tuple, float]] = []
+        tau_new = None
+        while True:
+            if pool_count >= 2:
+                candidate = pool_sum / (pool_count - 1)
+                if not self._heavy or self._heavy[0][0] > candidate:
+                    tau_new = candidate
+                    break
+            entry = heapq.heappop(self._heavy)
+            popped.append(entry)
+            pool_sum += entry[0]
+            pool_count += 1
+        # Choose the victim: each pool item is dropped with probability
+        # 1 - (its weight) / tau_new; the probabilities sum to one.
+        u = float(self._rng.random()) * 1.0
+        light_mass = len(self._light) * (1.0 - self._tau / tau_new)
+        if u < light_mass and self._light:
+            victim = self._rng.integers(len(self._light))
+            self._light[victim] = self._light[-1]
+            self._light.pop()
+        else:
+            u -= light_mass
+            victim_idx = None
+            for idx, (w, _c, _k, _w0) in enumerate(popped):
+                drop_p = 1.0 - w / tau_new
+                if u < drop_p:
+                    victim_idx = idx
+                    break
+                u -= drop_p
+            if victim_idx is None:
+                # Numerical slack: drop the last popped candidate.
+                victim_idx = len(popped) - 1
+            popped.pop(victim_idx)
+        # Survivors of the pool join the light region at the new threshold.
+        for _w, _c, key, w0 in popped:
+            self._light.append((key, w0))
+        self._tau = tau_new
+
+    def sample_items(self) -> List[Tuple[tuple, float]]:
+        """Current reservoir as ``(key, original_weight)`` pairs."""
+        items = [(key, w0) for _w, _c, key, w0 in self._heavy]
+        items.extend(self._light)
+        return items
+
+    def summary(self) -> SampleSummary:
+        """The current reservoir as a :class:`SampleSummary`."""
+        items = self.sample_items()
+        if not items:
+            return SampleSummary(
+                coords=np.empty((0, 1), dtype=np.int64),
+                weights=np.empty(0),
+                tau=self._tau,
+            )
+        coords = np.asarray([key for key, _w in items], dtype=np.int64)
+        if coords.ndim == 1:
+            coords = coords.reshape(-1, 1)
+        weights = np.asarray([w for _k, w in items], dtype=float)
+        return SampleSummary(coords=coords, weights=weights, tau=self._tau)
+
+
+def stream_varopt_summary(
+    dataset: Dataset, s: int, rng: np.random.Generator
+) -> SampleSummary:
+    """One-pass structure-oblivious VarOpt summary of a dataset."""
+    sampler = StreamVarOpt(s, rng)
+    for key, weight in dataset.iter_items():
+        sampler.feed(key, weight)
+    return sampler.summary()

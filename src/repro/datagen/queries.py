@@ -1,0 +1,122 @@
+"""Query workload generators (Section 6.1).
+
+Two query families, each a collection of non-overlapping rectangles:
+
+* **uniform area** -- each rectangle is placed uniformly at random with
+  per-axis extents uniform in ``[1, max_fraction * axis_size]``;
+* **uniform weight** -- rectangles are cells of a kd-tree built over the
+  *full* data (independent of any tree the samplers build), picked from
+  the same level so each covers roughly the same share of the total
+  weight.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.aware.kd import build_kd_hierarchy, kd_leaf_boxes
+from repro.core.types import Dataset
+from repro.structures.product import ProductDomain
+from repro.structures.ranges import Box, MultiRangeQuery
+
+
+def _random_box(
+    sizes, max_fraction: float, rng: np.random.Generator
+) -> Box:
+    lows = []
+    highs = []
+    for size in sizes:
+        extent = max(1, int(rng.random() * max_fraction * size))
+        extent = min(extent, size)
+        lo = int(rng.integers(0, size - extent + 1))
+        lows.append(lo)
+        highs.append(lo + extent - 1)
+    return Box(tuple(lows), tuple(highs))
+
+
+def uniform_area_queries(
+    domain: ProductDomain,
+    n_queries: int,
+    ranges_per_query: int,
+    max_fraction: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+    max_tries: int = 200,
+) -> List[MultiRangeQuery]:
+    """Uniform-area multi-rectangle queries.
+
+    Each query holds ``ranges_per_query`` pairwise disjoint random
+    rectangles; rectangles are redrawn (up to ``max_tries`` times each)
+    until disjoint from the ones already placed.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    queries = []
+    for _ in range(n_queries):
+        boxes: List[Box] = []
+        for _ in range(ranges_per_query):
+            for attempt in range(max_tries):
+                candidate = _random_box(domain.sizes, max_fraction, rng)
+                if not any(candidate.intersects(b) for b in boxes):
+                    boxes.append(candidate)
+                    break
+            else:
+                raise RuntimeError(
+                    "could not place disjoint rectangles; "
+                    "reduce max_fraction or ranges_per_query"
+                )
+        queries.append(MultiRangeQuery(boxes, check_disjoint=False))
+    return queries
+
+
+def equal_weight_cells(
+    dataset: Dataset, n_cells: int
+) -> List[Box]:
+    """Boxes of a kd partition of the data into ~``n_cells`` equal-weight cells.
+
+    Builds a kd-tree over the whole data set with leaf mass
+    ``total_weight / n_cells`` (this tree is independent of any tree the
+    sampling methods build, as the paper notes).
+    """
+    if n_cells < 1:
+        raise ValueError("n_cells must be >= 1")
+    total = dataset.total_weight
+    tree = build_kd_hierarchy(
+        dataset.coords,
+        dataset.weights,
+        domain=dataset.domain,
+        leaf_mass=total / n_cells,
+    )
+    return kd_leaf_boxes(tree)
+
+
+def uniform_weight_queries(
+    dataset: Dataset,
+    n_queries: int,
+    ranges_per_query: int,
+    n_cells: int,
+    rng: Optional[np.random.Generator] = None,
+) -> List[MultiRangeQuery]:
+    """Uniform-weight multi-rectangle queries from equal-weight kd cells.
+
+    Each query unions ``ranges_per_query`` distinct cells of the
+    equal-weight partition; the expected query weight is roughly
+    ``ranges_per_query / n_cells`` of the total, so sweeping ``n_cells``
+    sweeps the query weight.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    cells = equal_weight_cells(dataset, n_cells)
+    if len(cells) < ranges_per_query:
+        raise ValueError(
+            f"partition produced {len(cells)} cells < "
+            f"{ranges_per_query} ranges per query"
+        )
+    queries = []
+    for _ in range(n_queries):
+        chosen = rng.choice(len(cells), size=ranges_per_query, replace=False)
+        queries.append(
+            MultiRangeQuery([cells[i] for i in chosen], check_disjoint=False)
+        )
+    return queries

@@ -1,0 +1,55 @@
+"""Experiment harness and per-figure reproductions (paper Section 6)."""
+
+from repro.experiments.harness import (
+    METHODS,
+    EvalResult,
+    build_summary,
+    evaluate_summary,
+    ground_truths,
+    run_cell,
+    run_grid,
+)
+from repro.experiments.report import (
+    FigureResult,
+    render_figure,
+    render_comparison,
+)
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    default_network,
+    default_tickets,
+    fig2a,
+    fig2b,
+    fig2c,
+    fig3a,
+    fig3b,
+    fig3c,
+    fig4a,
+    fig4b,
+    fig4c,
+)
+
+__all__ = [
+    "METHODS",
+    "EvalResult",
+    "build_summary",
+    "evaluate_summary",
+    "ground_truths",
+    "run_cell",
+    "run_grid",
+    "FigureResult",
+    "render_figure",
+    "render_comparison",
+    "ALL_FIGURES",
+    "default_network",
+    "default_tickets",
+    "fig2a",
+    "fig2b",
+    "fig2c",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig4a",
+    "fig4b",
+    "fig4c",
+]

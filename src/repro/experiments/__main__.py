@@ -1,0 +1,77 @@
+"""Command-line runner for the paper-figure reproductions.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig2a [--scale 1.0] [--out results/]
+    python -m repro.experiments run all   [--scale 0.5]
+
+Each run prints the figure's series as an aligned table (and optionally
+writes it to a file).  ``--scale`` shrinks/grows the synthetic datasets
+relative to the benchmark defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    default_network,
+    default_tickets,
+)
+from repro.experiments.report import render_figure
+
+NETWORK_FIGURES = {"fig2a", "fig2b", "fig2c", "fig3a", "fig3c"}
+TICKET_FIGURES = {"fig3b", "fig4a", "fig4b", "fig4c"}
+
+
+def run_figure(name: str, scale: float, out_dir: pathlib.Path | None) -> None:
+    """Run one figure function and print/persist its table."""
+    func = ALL_FIGURES[name]
+    if name in NETWORK_FIGURES:
+        dataset = default_network(scale=scale)
+    else:
+        dataset = default_tickets(scale=scale)
+    start = time.perf_counter()
+    result = func(dataset)
+    elapsed = time.perf_counter() - start
+    text = render_figure(result)
+    print(text)
+    print(f"   [{elapsed:.1f}s]")
+    print()
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available figures")
+    run = sub.add_parser("run", help="run one figure (or 'all')")
+    run.add_argument("figure", choices=sorted(ALL_FIGURES) + ["all"])
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="dataset scale relative to the defaults")
+    run.add_argument("--out", type=pathlib.Path, default=None,
+                     help="directory to write the table to")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(ALL_FIGURES):
+            doc = (ALL_FIGURES[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:7s} {doc}")
+        return 0
+
+    names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        run_figure(name, args.scale, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

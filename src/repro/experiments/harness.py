@@ -1,0 +1,170 @@
+"""Experiment harness: build summaries, run query batteries, score errors.
+
+Error metric as in Section 6.2: the *absolute error* is the error of
+the query answer divided by the total weight of the data set; we also
+track sum-squared and relative errors (the paper reports those show
+the same trends).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aware.product_sampler import product_aware_summary
+from repro.core.poisson import poisson_summary
+from repro.core.types import Dataset
+from repro.core.varopt import stream_varopt_summary
+from repro.structures.ranges import MultiRangeQuery
+from repro.summaries.base import Summary
+from repro.summaries.exact import ExactSummary
+from repro.summaries.qdigest import QDigestSummary
+from repro.summaries.sketch import DyadicSketchSummary
+from repro.summaries.wavelet import WaveletSummary
+from repro.twopass.two_pass import two_pass_summary
+
+#: A summary factory: (dataset, size, rng) -> Summary.
+MethodFactory = Callable[[Dataset, int, np.random.Generator], Summary]
+
+METHODS: Dict[str, MethodFactory] = {
+    # The paper's `aware`: two passes, guide sample 5s, kd partition.
+    "aware": lambda data, s, rng: two_pass_summary(data, s, rng),
+    # Main-memory structure-aware variant (Section 4).
+    "aware-mm": lambda data, s, rng: product_aware_summary(data, s, rng),
+    # The paper's `obliv`: one-pass stream VarOpt.
+    "obliv": lambda data, s, rng: stream_varopt_summary(data, s, rng),
+    "poisson": lambda data, s, rng: poisson_summary(data, s, rng),
+    "wavelet": lambda data, s, rng: WaveletSummary(data, s),
+    "qdigest": lambda data, s, rng: QDigestSummary(data, s),
+    "sketch": lambda data, s, rng: DyadicSketchSummary(data, s, rng=rng),
+}
+
+
+@dataclass
+class EvalResult:
+    """Scores of one (method, size) cell of an experiment grid."""
+
+    method: str
+    size: int
+    build_seconds: float
+    query_seconds: float
+    abs_error: float
+    rel_error: float
+    sq_error: float
+    per_query_abs: List[float] = field(default_factory=list)
+
+    @property
+    def build_throughput(self) -> float:
+        """Items per second during construction (needs ``items`` set by caller)."""
+        return getattr(self, "items", 0) / max(self.build_seconds, 1e-12)
+
+
+def ground_truths(
+    dataset: Dataset, queries: Sequence[MultiRangeQuery]
+) -> np.ndarray:
+    """Exact answers for a query battery."""
+    exact = ExactSummary(dataset)
+    return np.asarray([exact.query_multi(q) for q in queries])
+
+
+def build_summary(
+    method: str, dataset: Dataset, size: int, rng: np.random.Generator
+):
+    """Build one summary, returning ``(summary, build_seconds)``."""
+    if method not in METHODS:
+        raise KeyError(f"unknown method {method!r}; have {sorted(METHODS)}")
+    start = time.perf_counter()
+    summary = METHODS[method](dataset, size, rng)
+    return summary, time.perf_counter() - start
+
+
+def evaluate_summary(
+    summary: Summary,
+    queries: Sequence[MultiRangeQuery],
+    truths: np.ndarray,
+    total_weight: float,
+) -> Dict[str, float]:
+    """Query a summary and score it against exact answers."""
+    start = time.perf_counter()
+    estimates = np.asarray(summary.query_many(list(queries)))
+    query_seconds = time.perf_counter() - start
+    errors = np.abs(estimates - truths)
+    abs_error = float(errors.mean() / total_weight) if total_weight else 0.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.where(truths > 0, errors / truths, np.nan)
+    rel_error = float(np.nanmean(rel)) if np.isfinite(rel).any() else float("nan")
+    sq_error = float(np.mean((errors / total_weight) ** 2)) if total_weight else 0.0
+    return {
+        "query_seconds": query_seconds,
+        "abs_error": abs_error,
+        "rel_error": rel_error,
+        "sq_error": sq_error,
+        "per_query_abs": (errors / total_weight).tolist(),
+    }
+
+
+def run_cell(
+    method: str,
+    dataset: Dataset,
+    size: int,
+    queries: Sequence[MultiRangeQuery],
+    truths: np.ndarray,
+    seed: int = 0,
+) -> EvalResult:
+    """Build + evaluate one (method, size) cell."""
+    rng = np.random.default_rng(seed)
+    summary, build_seconds = build_summary(method, dataset, size, rng)
+    scores = evaluate_summary(summary, queries, truths, dataset.total_weight)
+    result = EvalResult(
+        method=method,
+        size=size,
+        build_seconds=build_seconds,
+        query_seconds=scores["query_seconds"],
+        abs_error=scores["abs_error"],
+        rel_error=scores["rel_error"],
+        sq_error=scores["sq_error"],
+        per_query_abs=scores["per_query_abs"],
+    )
+    result.items = dataset.n  # for throughput reporting
+    return result
+
+
+def run_grid(
+    dataset: Dataset,
+    sizes: Sequence[int],
+    queries: Sequence[MultiRangeQuery],
+    methods: Sequence[str],
+    seed: int = 0,
+    repeats: int = 1,
+) -> List[EvalResult]:
+    """Run a methods x sizes grid, averaging ``repeats`` seeded runs.
+
+    Randomized methods (samples, sketches) are averaged over seeds;
+    deterministic ones are run once.
+    """
+    truths = ground_truths(dataset, queries)
+    results: List[EvalResult] = []
+    deterministic = {"wavelet", "qdigest"}
+    for method in methods:
+        reps = 1 if method in deterministic else repeats
+        for size in sizes:
+            cells = [
+                run_cell(method, dataset, size, queries, truths,
+                         seed=seed + 1000 * r)
+                for r in range(reps)
+            ]
+            merged = EvalResult(
+                method=method,
+                size=size,
+                build_seconds=float(np.mean([c.build_seconds for c in cells])),
+                query_seconds=float(np.mean([c.query_seconds for c in cells])),
+                abs_error=float(np.mean([c.abs_error for c in cells])),
+                rel_error=float(np.nanmean([c.rel_error for c in cells])),
+                sq_error=float(np.mean([c.sq_error for c in cells])),
+            )
+            merged.items = dataset.n
+            results.append(merged)
+    return results

@@ -1,0 +1,35 @@
+"""Key-domain structures: order, hierarchy, and product spaces.
+
+The paper models structure as a range space ``(K, R)``.  Keys on every
+axis are non-negative integers; hierarchy leaves are numbered in DFS
+order so that every hierarchy node corresponds to an aligned integer
+interval.  This makes all range predicates numeric and lets every
+summary in the library share one ``Box`` query type.
+"""
+
+from repro.structures.order import OrderedDomain
+from repro.structures.hierarchy import (
+    BitHierarchy,
+    ExplicitHierarchy,
+    RadixHierarchy,
+)
+from repro.structures.product import ProductDomain
+from repro.structures.ranges import Box, MultiRangeQuery
+from repro.structures.dyadic import (
+    dyadic_decompose_interval,
+    dyadic_decompose_box,
+    dyadic_cell_interval,
+)
+
+__all__ = [
+    "OrderedDomain",
+    "BitHierarchy",
+    "ExplicitHierarchy",
+    "RadixHierarchy",
+    "ProductDomain",
+    "Box",
+    "MultiRangeQuery",
+    "dyadic_decompose_interval",
+    "dyadic_decompose_box",
+    "dyadic_cell_interval",
+]

@@ -1,0 +1,75 @@
+"""Canonical dyadic decomposition of intervals and boxes.
+
+A dyadic cell at *depth* ``d`` within a ``bits``-bit domain is an
+aligned interval of length ``2**(bits-d)``: exactly a node of the
+:class:`~repro.structures.hierarchy.BitHierarchy`.  Any closed interval
+``[lo, hi]`` decomposes into at most ``2*bits`` disjoint dyadic cells;
+a d-dimensional box decomposes into the product of the per-axis
+decompositions.  The Count-Sketch baseline and several tests rely on
+these decompositions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def dyadic_cell_interval(bits: int, depth: int, index: int) -> Tuple[int, int]:
+    """Closed interval ``[lo, hi]`` of dyadic cell ``(depth, index)``."""
+    span = 1 << (bits - depth)
+    lo = index * span
+    return lo, lo + span - 1
+
+
+def dyadic_decompose_interval(lo: int, hi: int, bits: int) -> List[Tuple[int, int]]:
+    """Minimal disjoint dyadic cover of closed interval ``[lo, hi]``.
+
+    Returns ``(depth, index)`` pairs with ``depth`` in ``[0, bits]``;
+    the cells are returned left to right.  Raises on an empty or
+    out-of-domain interval.
+    """
+    domain = 1 << bits
+    if lo > hi:
+        raise ValueError("empty interval")
+    if lo < 0 or hi >= domain:
+        raise ValueError("interval outside domain")
+    cells: List[Tuple[int, int]] = []
+    position = int(lo)
+    end = int(hi)
+    while position <= end:
+        # Largest aligned cell starting at `position` that fits in [position, end].
+        max_by_alignment = position & -position if position else domain
+        remaining = end - position + 1
+        size = min(max_by_alignment, domain)
+        while size > remaining:
+            size >>= 1
+        depth = bits - size.bit_length() + 1
+        cells.append((depth, position >> (bits - depth)))
+        position += size
+    return cells
+
+
+def dyadic_decompose_box(box, bits_per_axis) -> List[Tuple[Tuple[int, int], ...]]:
+    """Decompose a box into products of per-axis dyadic cells.
+
+    Parameters
+    ----------
+    box:
+        A :class:`~repro.structures.ranges.Box`.
+    bits_per_axis:
+        Sequence of domain bit-widths, one per axis.
+
+    Returns
+    -------
+    list of tuples, one per rectangle, each a per-axis ``(depth, index)``
+    pair.  The number of rectangles is at most
+    ``prod(2 * bits_per_axis)``.
+    """
+    per_axis = [
+        dyadic_decompose_interval(box.lows[a], box.highs[a], bits_per_axis[a])
+        for a in range(box.dims)
+    ]
+    rects: List[Tuple[Tuple[int, int], ...]] = [()]
+    for axis_cells in per_axis:
+        rects = [rect + (cell,) for rect in rects for cell in axis_cells]
+    return rects

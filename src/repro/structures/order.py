@@ -1,0 +1,49 @@
+"""Ordered key domains.
+
+An order structure places keys on a line; the ranges ``R`` are all
+intervals of consecutive keys (Section 3 of the paper).  The domain is
+``[0, size)`` over the integers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class OrderedDomain:
+    """A linearly ordered integer key domain ``[0, size)``."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("domain size must be >= 1")
+        self._size = int(size)
+
+    @property
+    def size(self) -> int:
+        """Number of possible key values."""
+        return self._size
+
+    def contains(self, key: int) -> bool:
+        """Whether ``key`` lies in the domain."""
+        return 0 <= key < self._size
+
+    def clip_interval(self, lo: int, hi: int) -> Tuple[int, int]:
+        """Clip a closed interval ``[lo, hi]`` to the domain."""
+        return max(0, int(lo)), min(self._size - 1, int(hi))
+
+    def validate_keys(self, keys: np.ndarray) -> None:
+        """Raise ``ValueError`` if any key is outside the domain."""
+        keys = np.asarray(keys)
+        if keys.size and (int(keys.min()) < 0 or int(keys.max()) >= self._size):
+            raise ValueError("keys outside ordered domain")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OrderedDomain(size={self._size})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, OrderedDomain) and self._size == other._size
+
+    def __hash__(self) -> int:
+        return hash(("OrderedDomain", self._size))

@@ -1,0 +1,185 @@
+"""Range (query) objects: axis-parallel boxes and multi-range unions.
+
+All summaries in the library answer the same query type: the total
+weight of keys inside a :class:`Box` or a :class:`MultiRangeQuery`
+(a union of disjoint boxes).  Intervals use *closed* integer endpoints
+``[lo, hi]`` so that a single leaf is the box with ``lo == hi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-parallel hyper-rectangle with closed integer extents."""
+
+    lows: Tuple[int, ...]
+    highs: Tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.lows) != len(self.highs):
+            raise ValueError("lows and highs must have equal length")
+        if any(lo > hi for lo, hi in zip(self.lows, self.highs)):
+            raise ValueError(f"empty box: lows={self.lows} highs={self.highs}")
+
+    @property
+    def dims(self) -> int:
+        """Number of dimensions."""
+        return len(self.lows)
+
+    @property
+    def volume(self) -> int:
+        """Number of key values covered."""
+        vol = 1
+        for lo, hi in zip(self.lows, self.highs):
+            vol *= hi - lo + 1
+        return vol
+
+    def side(self, axis: int) -> Tuple[int, int]:
+        """The closed interval on ``axis``."""
+        return self.lows[axis], self.highs[axis]
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        """Whether a single coordinate tuple lies inside the box."""
+        return all(
+            lo <= int(x) <= hi
+            for x, lo, hi in zip(point, self.lows, self.highs)
+        )
+
+    def contains(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized membership over an ``(n, d)`` coordinate array."""
+        coords = np.asarray(coords)
+        if coords.ndim == 1:
+            coords = coords.reshape(-1, 1)
+        mask = np.ones(coords.shape[0], dtype=bool)
+        for axis, (lo, hi) in enumerate(zip(self.lows, self.highs)):
+            column = coords[:, axis]
+            mask &= (column >= lo) & (column <= hi)
+        return mask
+
+    def intersects(self, other: "Box") -> bool:
+        """Whether the two boxes share at least one key value."""
+        return all(
+            lo_a <= hi_b and lo_b <= hi_a
+            for lo_a, hi_a, lo_b, hi_b in zip(
+                self.lows, self.highs, other.lows, other.highs
+            )
+        )
+
+    def intersection(self, other: "Box") -> Optional["Box"]:
+        """The overlapping box, or ``None`` if disjoint."""
+        lows = tuple(max(a, b) for a, b in zip(self.lows, other.lows))
+        highs = tuple(min(a, b) for a, b in zip(self.highs, other.highs))
+        if any(lo > hi for lo, hi in zip(lows, highs)):
+            return None
+        return Box(lows, highs)
+
+    def contains_box(self, other: "Box") -> bool:
+        """Whether ``other`` lies entirely inside this box."""
+        return all(
+            lo_a <= lo_b and hi_b <= hi_a
+            for lo_a, hi_a, lo_b, hi_b in zip(
+                self.lows, self.highs, other.lows, other.highs
+            )
+        )
+
+    def overlap_fraction(self, other: "Box") -> float:
+        """Fraction of this box's volume overlapped by ``other``."""
+        inter = self.intersection(other)
+        if inter is None:
+            return 0.0
+        return inter.volume / self.volume
+
+    def split(self, axis: int, split_value: int) -> Tuple["Box", "Box"]:
+        """Split into ``coord <= split_value`` and ``coord > split_value``."""
+        lo, hi = self.side(axis)
+        if not lo <= split_value < hi:
+            raise ValueError("split value must leave both halves non-empty")
+        left_highs = list(self.highs)
+        left_highs[axis] = split_value
+        right_lows = list(self.lows)
+        right_lows[axis] = split_value + 1
+        return (
+            Box(self.lows, tuple(left_highs)),
+            Box(tuple(right_lows), self.highs),
+        )
+
+
+class MultiRangeQuery:
+    """A union of pairwise-disjoint boxes (the paper's multi-range query).
+
+    Query accuracy experiments in Section 6 evaluate queries that are
+    collections of non-overlapping rectangles; discrepancy on such a
+    query grows with the square root of the number of ranges for samples
+    (Lemma 4) but linearly for deterministic summaries.
+    """
+
+    def __init__(self, boxes: Iterable[Box], check_disjoint: bool = True):
+        self._boxes: List[Box] = list(boxes)
+        if not self._boxes:
+            raise ValueError("query must contain at least one box")
+        dims = self._boxes[0].dims
+        if any(b.dims != dims for b in self._boxes):
+            raise ValueError("all boxes must share dimensionality")
+        if check_disjoint:
+            for i, a in enumerate(self._boxes):
+                for b in self._boxes[i + 1:]:
+                    if a.intersects(b):
+                        raise ValueError("query boxes must be disjoint")
+
+    @property
+    def boxes(self) -> Tuple[Box, ...]:
+        """The constituent boxes."""
+        return tuple(self._boxes)
+
+    @property
+    def num_ranges(self) -> int:
+        """Number of boxes in the union."""
+        return len(self._boxes)
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the query."""
+        return self._boxes[0].dims
+
+    def contains(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized membership in the union."""
+        coords = np.asarray(coords)
+        if coords.ndim == 1:
+            coords = coords.reshape(-1, 1)
+        mask = np.zeros(coords.shape[0], dtype=bool)
+        for box in self._boxes:
+            mask |= box.contains(coords)
+        return mask
+
+    def __iter__(self):
+        return iter(self._boxes)
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MultiRangeQuery({len(self._boxes)} boxes)"
+
+
+def interval(lo: int, hi: int) -> Box:
+    """One-dimensional closed-interval box."""
+    return Box((int(lo),), (int(hi),))
+
+
+def hierarchy_node_box(hierarchy, depth: int, node: int) -> Box:
+    """The 1-D box covered by a hierarchy node."""
+    lo, hi = hierarchy.node_interval(depth, node)
+    return Box((lo,), (hi - 1,))
+
+
+def product_box(*sides: Tuple[int, int]) -> Box:
+    """Build a box from per-axis closed ``(lo, hi)`` intervals."""
+    lows = tuple(int(lo) for lo, _ in sides)
+    highs = tuple(int(hi) for _, hi in sides)
+    return Box(lows, highs)

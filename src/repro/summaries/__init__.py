@@ -1,0 +1,18 @@
+"""Dedicated range-sum summaries used as experimental baselines."""
+
+from repro.summaries.base import Summary
+from repro.summaries.exact import ExactSummary
+from repro.summaries.wavelet import WaveletSummary
+from repro.summaries.qdigest import QDigestSummary
+from repro.summaries.sketch import CountSketch, DyadicSketchSummary
+from repro.summaries.qdigest_stream import StreamingQDigest
+
+__all__ = [
+    "Summary",
+    "ExactSummary",
+    "WaveletSummary",
+    "QDigestSummary",
+    "StreamingQDigest",
+    "CountSketch",
+    "DyadicSketchSummary",
+]

@@ -1,0 +1,36 @@
+"""Common interface for all summaries.
+
+Every summary -- samples and dedicated structures alike -- answers
+box-range-sum queries, reports its size measured "in terms of elements
+on the original data" (Section 6.2: sampled keys for samples, retained
+coefficients for wavelets, materialized nodes for q-digest, counters
+for sketches), and is built from a :class:`~repro.core.types.Dataset`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from repro.structures.ranges import Box, MultiRangeQuery
+
+
+class Summary(abc.ABC):
+    """Abstract base for range-sum summaries."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Summary footprint in elements of the original data."""
+
+    @abc.abstractmethod
+    def query(self, box: Box) -> float:
+        """Estimated total weight of keys inside ``box``."""
+
+    def query_multi(self, query: MultiRangeQuery) -> float:
+        """Estimated total weight inside a union of disjoint boxes."""
+        return float(sum(self.query(box) for box in query))
+
+    def query_many(self, queries: Iterable[MultiRangeQuery]) -> list:
+        """Estimates for a batch of multi-range queries."""
+        return [self.query_multi(q) for q in queries]

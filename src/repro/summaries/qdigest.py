@@ -1,0 +1,196 @@
+"""Deterministic adaptive spatial partitioning (the ``qdigest`` baseline).
+
+A multi-dimensional variant of the q-digest [22] in the style of
+Hershberger, Shrivastava, Suri, Toth [14]: the domain is recursively
+divided "on each dimension in turn" at dyadic midpoints, materializing
+the heavy regions.  We drive the division greedily -- always split the
+heaviest splittable leaf -- until the node budget is reached, which
+adapts the resolution to the weight distribution exactly as retaining
+heavy ranges does.
+
+Queries sum fully-contained leaves exactly and spread a partially
+overlapped leaf's weight uniformly over its box (the classic histogram
+assumption); the deterministic error is bounded by the total weight of
+boundary leaves.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.types import Dataset
+from repro.structures.ranges import Box
+from repro.summaries.base import Summary
+
+
+@dataclass
+class _Cell:
+    """A materialized leaf: a dyadic box and the weight of keys inside."""
+
+    box: Box
+    weight: float
+    indices: np.ndarray  # rows of the build data inside the box
+
+
+class QDigestSummary(Summary):
+    """Greedy heavy-first dyadic partitioning summary.
+
+    ``partial`` selects how partially-overlapped leaves contribute to a
+    query:
+
+    * ``"half"`` (default) -- the midpoint of the deterministic bounds:
+      fully-contained weight plus half of each boundary leaf's weight.
+      This matches the guaranteed-error flavour of [14]/q-digest and
+      reproduces the paper's observed accuracy gap vs sampling.
+    * ``"uniform"`` -- spread each boundary leaf's weight uniformly over
+      its box (the multi-dimensional-histogram assumption); much more
+      accurate on clustered data but offers no deterministic bound.
+    * ``"lower"`` -- only fully-contained leaves (the conservative
+      deterministic lower bound).
+    """
+
+    def __init__(self, dataset: Dataset, s: int, partial: str = "half"):
+        if s < 1:
+            raise ValueError("node budget must be >= 1")
+        if partial not in ("half", "uniform", "lower"):
+            raise ValueError(f"unknown partial mode: {partial}")
+        self._partial = partial
+        self._dims = dataset.dims
+        coords = dataset.coords
+        weights = dataset.weights
+        root = _Cell(
+            box=dataset.domain.full_box(),
+            weight=float(weights.sum()),
+            indices=np.arange(dataset.n),
+        )
+        # Max-heap on weight; tiebreaker by insertion counter.
+        counter = itertools.count()
+        heap: List[Tuple[float, int, int, _Cell]] = [
+            (-root.weight, next(counter), 0, root)
+        ]
+        done: List[_Cell] = []
+        while heap and len(heap) + len(done) < s:
+            neg_w, _tick, depth, cell = heapq.heappop(heap)
+            children = self._split_cell(cell, depth, coords, weights)
+            if children is None:
+                done.append(cell)
+                continue
+            for child in children:
+                if child.indices.size:
+                    heapq.heappush(
+                        heap, (-child.weight, next(counter), depth + 1, child)
+                    )
+        leaves = done + [entry[3] for entry in heap]
+        self._boxes = [cell.box for cell in leaves]
+        self._weights = np.asarray([cell.weight for cell in leaves])
+        self._lows = np.asarray(
+            [cell.box.lows for cell in leaves], dtype=float
+        ).reshape(len(leaves), self._dims)
+        self._highs = np.asarray(
+            [cell.box.highs for cell in leaves], dtype=float
+        ).reshape(len(leaves), self._dims)
+        self._volumes = np.prod(self._highs - self._lows + 1.0, axis=1)
+
+    def _split_cell(
+        self,
+        cell: _Cell,
+        depth: int,
+        coords: np.ndarray,
+        weights: np.ndarray,
+    ) -> Optional[List[_Cell]]:
+        """Split a leaf at the dyadic midpoint, cycling the axes.
+
+        Empty halves are skipped for free: the cell's box shrinks in
+        place to the occupied half (so a single remaining point ends up
+        in its exact 1x1 cell).  Returns ``None`` when the box cannot be
+        halved with points on both sides of any axis.
+        """
+        while True:
+            progressed = False
+            for offset in range(self._dims):
+                axis = (depth + offset) % self._dims
+                lo, hi = cell.box.side(axis)
+                if lo >= hi:
+                    continue
+                mid = lo + ((hi - lo) >> 1)
+                values = coords[cell.indices, axis]
+                left_mask = values <= mid
+                left_box, right_box = cell.box.split(axis, mid)
+                if left_mask.all():
+                    cell.box = left_box
+                    depth += 1
+                    progressed = True
+                    break
+                if not left_mask.any():
+                    cell.box = right_box
+                    depth += 1
+                    progressed = True
+                    break
+                left_idx = cell.indices[left_mask]
+                right_idx = cell.indices[~left_mask]
+                return [
+                    _Cell(
+                        box=left_box,
+                        weight=float(weights[left_idx].sum()),
+                        indices=left_idx,
+                    ),
+                    _Cell(
+                        box=right_box,
+                        weight=float(weights[right_idx].sum()),
+                        indices=right_idx,
+                    ),
+                ]
+            if not progressed:
+                return None
+
+    @property
+    def size(self) -> int:
+        """Number of materialized nodes."""
+        return len(self._boxes)
+
+    def query(self, box: Box) -> float:
+        """Range-sum estimate (see ``partial`` in the class docstring).
+
+        Vectorized over all leaves: fully contained cells contribute
+        their weight; boundary cells contribute per the partial mode.
+        """
+        q_lows = np.asarray(box.lows, dtype=float)
+        q_highs = np.asarray(box.highs, dtype=float)
+        overlap = (
+            np.minimum(self._highs, q_highs)
+            - np.maximum(self._lows, q_lows)
+            + 1.0
+        )
+        np.clip(overlap, 0.0, None, out=overlap)
+        overlap_volume = np.prod(overlap, axis=1)
+        if self._partial == "uniform":
+            fractions = overlap_volume / self._volumes
+        else:
+            contained = overlap_volume >= self._volumes
+            boundary = (overlap_volume > 0) & ~contained
+            fractions = contained.astype(float)
+            if self._partial == "half":
+                fractions += 0.5 * boundary
+        return float((self._weights * fractions).sum())
+
+    def query_bounds(self, box: Box):
+        """Deterministic (lower, upper) bounds on the true range sum."""
+        q_lows = np.asarray(box.lows, dtype=float)
+        q_highs = np.asarray(box.highs, dtype=float)
+        overlap = (
+            np.minimum(self._highs, q_highs)
+            - np.maximum(self._lows, q_lows)
+            + 1.0
+        )
+        np.clip(overlap, 0.0, None, out=overlap)
+        overlap_volume = np.prod(overlap, axis=1)
+        contained = overlap_volume >= self._volumes
+        intersecting = overlap_volume > 0
+        lower = float(self._weights[contained].sum())
+        upper = float(self._weights[intersecting].sum())
+        return lower, upper

@@ -1,0 +1,166 @@
+"""Classic streaming 1-D q-digest (Shrivastava et al., SenSys 2004).
+
+The paper's ``qdigest`` baseline cites [22]; this module provides the
+original streaming structure for completeness (the 2-D batch variant
+lives in :mod:`repro.summaries.qdigest`).  Items are inserted one at a
+time into a binary tree over the ``[0, 2^bits)`` domain; a compression
+pass merges every node that, together with its parent and sibling,
+carries less than ``total / k`` weight.  Supports range sums and
+quantile queries with the classic ``log(domain)/k`` error guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.structures.ranges import Box
+
+
+class StreamingQDigest:
+    """A weight-aware 1-D q-digest over ``bits``-bit integer keys.
+
+    Parameters
+    ----------
+    bits:
+        Domain is ``[0, 2**bits)``.
+    k:
+        Compression factor: the structure keeps O(k log(2^bits)) nodes
+        and answers range sums within ``(log(2^bits) / k) * total``.
+    compress_every:
+        Run compression after this many insertions (amortization knob).
+    """
+
+    def __init__(self, bits: int, k: int, compress_every: int = 1024):
+        if bits < 1 or bits > 62:
+            raise ValueError("bits must be in [1, 62]")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self._bits = bits
+        self._k = k
+        self._compress_every = max(1, int(compress_every))
+        # Node id: 1-based heap numbering; node v at depth d covers a
+        # span of 2^(bits-d) keys.  Counts live in a dict (sparse tree).
+        self._counts: Dict[int, float] = {}
+        self._total = 0.0
+        self._since_compress = 0
+
+    @property
+    def total(self) -> float:
+        """Total inserted weight."""
+        return self._total
+
+    @property
+    def size(self) -> int:
+        """Number of materialized nodes."""
+        return len(self._counts)
+
+    def _leaf_id(self, key: int) -> int:
+        if not 0 <= key < (1 << self._bits):
+            raise ValueError("key outside domain")
+        return (1 << self._bits) + int(key)
+
+    def _depth(self, node: int) -> int:
+        return node.bit_length() - 1
+
+    def _node_interval(self, node: int) -> Tuple[int, int]:
+        depth = self._depth(node)
+        span = 1 << (self._bits - depth)
+        lo = (node - (1 << depth)) * span
+        return lo, lo + span - 1
+
+    def insert(self, key: int, weight: float = 1.0) -> None:
+        """Insert one weighted item."""
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        if weight == 0:
+            return
+        leaf = self._leaf_id(key)
+        self._counts[leaf] = self._counts.get(leaf, 0.0) + weight
+        self._total += weight
+        self._since_compress += 1
+        if self._since_compress >= self._compress_every:
+            self.compress()
+
+    def insert_many(self, keys, weights) -> None:
+        """Insert a batch of items (still one logical insert each)."""
+        for key, weight in zip(keys, weights):
+            self.insert(int(key), float(weight))
+
+    def compress(self) -> None:
+        """Merge light (node, sibling) pairs into their parents."""
+        self._since_compress = 0
+        if self._total == 0:
+            return
+        threshold = self._total / self._k
+        # Bottom-up sweep: process deeper nodes first.
+        for depth in range(self._bits, 0, -1):
+            level_nodes = [
+                node
+                for node in list(self._counts)
+                if self._depth(node) == depth
+            ]
+            for node in level_nodes:
+                if node not in self._counts:
+                    continue
+                sibling = node ^ 1
+                parent = node >> 1
+                triple = (
+                    self._counts.get(node, 0.0)
+                    + self._counts.get(sibling, 0.0)
+                    + self._counts.get(parent, 0.0)
+                )
+                if triple < threshold:
+                    merged = self._counts.pop(node, 0.0) + self._counts.pop(
+                        sibling, 0.0
+                    )
+                    if merged:
+                        self._counts[parent] = (
+                            self._counts.get(parent, 0.0) + merged
+                        )
+
+    def range_sum(self, lo: int, hi: int) -> float:
+        """Estimated weight of keys in ``[lo, hi]``.
+
+        Nodes fully inside count fully; straddling nodes contribute the
+        overlapped fraction of their span (midpoint-style estimate).
+        """
+        if lo > hi:
+            raise ValueError("empty range")
+        total = 0.0
+        for node, count in self._counts.items():
+            n_lo, n_hi = self._node_interval(node)
+            if n_lo >= lo and n_hi <= hi:
+                total += count
+            elif n_hi >= lo and n_lo <= hi:
+                overlap = min(hi, n_hi) - max(lo, n_lo) + 1
+                total += count * overlap / (n_hi - n_lo + 1)
+        return total
+
+    def query(self, box: Box) -> float:
+        """Box interface used by the shared harness (1-D boxes)."""
+        return self.range_sum(box.lows[0], box.highs[0])
+
+    def quantile(self, phi: float) -> int:
+        """Key at (approximately) the phi-quantile of the weight."""
+        if not 0 <= phi <= 1:
+            raise ValueError("phi must be in [0, 1]")
+        target = phi * self._total
+        # Sort materialized nodes by right endpoint; walk the
+        # cumulative weight (the classic q-digest quantile walk).
+        nodes = sorted(
+            self._counts.items(),
+            key=lambda item: (self._node_interval(item[0])[1],
+                              self._node_interval(item[0])[0]),
+        )
+        running = 0.0
+        for node, count in nodes:
+            running += count
+            if running >= target:
+                return self._node_interval(node)[1]
+        return (1 << self._bits) - 1
+
+    def error_bound(self) -> float:
+        """The classic additive error guarantee per range endpoint."""
+        return self._bits * self._total / self._k

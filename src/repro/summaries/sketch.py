@@ -1,0 +1,180 @@
+"""Count-Sketch and dyadic-rectangle sketch summaries (the ``sketch`` baseline).
+
+The Count-Sketch of Charikar, Chen, Farach-Colton [4]: ``depth`` rows of
+``width`` counters; each key hashes to one counter per row with a
+random sign, and a key's frequency estimate is the median of its signed
+counters.
+
+For 2-D range sums we keep one sketch per pair of dyadic levels
+(``O(log X * log Y)`` sketches); a box query decomposes into canonical
+dyadic rectangles, each estimated from the sketch at its level pair.
+The total counter budget is ``s``, split evenly across the sketches --
+this is exactly why the paper finds sketches need "much larger" space
+before becoming accurate on two-dimensional data.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.types import Dataset
+from repro.structures.dyadic import dyadic_decompose_interval
+from repro.structures.ranges import Box
+from repro.summaries.base import Summary
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class CountSketch:
+    """A Count-Sketch over 64-bit integer keys."""
+
+    def __init__(self, width: int, depth: int, rng: np.random.Generator):
+        if width < 1 or depth < 1:
+            raise ValueError("width and depth must be >= 1")
+        self.width = int(width)
+        self.depth = int(depth)
+        self._table = np.zeros((self.depth, self.width), dtype=float)
+        # Multiply-shift hashing: odd 64-bit multipliers per row.
+        self._bucket_mul = rng.integers(
+            1, 2**63, size=self.depth, dtype=np.uint64
+        ) * np.uint64(2) + np.uint64(1)
+        self._bucket_add = rng.integers(
+            0, 2**63, size=self.depth, dtype=np.uint64
+        )
+        self._sign_mul = rng.integers(
+            1, 2**63, size=self.depth, dtype=np.uint64
+        ) * np.uint64(2) + np.uint64(1)
+        self._sign_add = rng.integers(
+            0, 2**63, size=self.depth, dtype=np.uint64
+        )
+
+    def _buckets_and_signs(
+        self, keys: np.ndarray, row: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        keys = keys.astype(np.uint64, copy=False)
+        with np.errstate(over="ignore"):
+            mixed = keys * self._bucket_mul[row] + self._bucket_add[row]
+            buckets = (mixed >> np.uint64(33)) % np.uint64(self.width)
+            sign_bits = (keys * self._sign_mul[row] + self._sign_add[row]) >> np.uint64(63)
+        signs = np.where(sign_bits.astype(np.int64) == 0, 1.0, -1.0)
+        return buckets.astype(np.int64), signs
+
+    def update_many(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Add ``values`` to the sketch under ``keys`` (vectorized)."""
+        keys = np.asarray(keys)
+        values = np.asarray(values, dtype=float)
+        for row in range(self.depth):
+            buckets, signs = self._buckets_and_signs(keys, row)
+            np.add.at(self._table[row], buckets, signs * values)
+
+    def estimate_many(self, keys: np.ndarray) -> np.ndarray:
+        """Median-of-rows estimates for a batch of keys."""
+        keys = np.asarray(keys)
+        if keys.size == 0:
+            return np.zeros(0)
+        estimates = np.empty((self.depth, keys.shape[0]))
+        for row in range(self.depth):
+            buckets, signs = self._buckets_and_signs(keys, row)
+            estimates[row] = self._table[row][buckets] * signs
+        return np.median(estimates, axis=0)
+
+    def estimate(self, key: int) -> float:
+        """Estimate for a single key."""
+        return float(self.estimate_many(np.asarray([key], dtype=np.uint64))[0])
+
+    @property
+    def counters(self) -> int:
+        """Total number of counters held."""
+        return self.depth * self.width
+
+
+def _axis_bits(size: int) -> int:
+    bits = int(size - 1).bit_length() if size > 1 else 1
+    if (1 << bits) < size:
+        bits += 1
+    return bits
+
+
+class DyadicSketchSummary(Summary):
+    """Per-dyadic-level Count-Sketches answering box range sums (1-D/2-D)."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        s: int,
+        depth: int = 3,
+        rng: np.random.Generator = None,
+    ):
+        if dataset.dims not in (1, 2):
+            raise ValueError("sketch summary supports 1-D and 2-D data")
+        if s < 1:
+            raise ValueError("counter budget must be >= 1")
+        if rng is None:
+            rng = np.random.default_rng(0xC0FFEE)
+        self._dims = dataset.dims
+        self._bits = tuple(_axis_bits(size) for size in dataset.domain.sizes)
+        if self._dims == 1:
+            level_pairs = [(dx,) for dx in range(self._bits[0] + 1)]
+        else:
+            level_pairs = [
+                (dx, dy)
+                for dx in range(self._bits[0] + 1)
+                for dy in range(self._bits[1] + 1)
+            ]
+        width = max(1, s // (len(level_pairs) * depth))
+        self._sketches: Dict[tuple, CountSketch] = {
+            pair: CountSketch(width, depth, rng) for pair in level_pairs
+        }
+        self._build(dataset)
+
+    def _pack(self, level_pair: tuple, coords: np.ndarray) -> np.ndarray:
+        """Cell ids of points (or cells) at a dyadic level pair."""
+        if self._dims == 1:
+            (dx,) = level_pair
+            return (coords[:, 0].astype(np.uint64)) >> np.uint64(
+                self._bits[0] - dx
+            )
+        dx, dy = level_pair
+        kx = coords[:, 0].astype(np.uint64) >> np.uint64(self._bits[0] - dx)
+        ky = coords[:, 1].astype(np.uint64) >> np.uint64(self._bits[1] - dy)
+        return (kx << np.uint64(32)) | ky
+
+    def _build(self, dataset: Dataset) -> None:
+        coords = dataset.coords
+        weights = dataset.weights
+        for pair, sketch in self._sketches.items():
+            sketch.update_many(self._pack(pair, coords), weights)
+
+    @property
+    def size(self) -> int:
+        """Total number of counters across all sketches."""
+        return sum(sk.counters for sk in self._sketches.values())
+
+    def query(self, box: Box) -> float:
+        """Range-sum estimate via canonical dyadic decomposition."""
+        per_axis = [
+            dyadic_decompose_interval(
+                box.lows[a], box.highs[a], self._bits[a]
+            )
+            for a in range(self._dims)
+        ]
+        # Group the decomposition rectangles by level pair so each
+        # sketch is probed once with a vector of keys.
+        grouped: Dict[tuple, List[int]] = defaultdict(list)
+        if self._dims == 1:
+            for depth_x, idx_x in per_axis[0]:
+                grouped[(depth_x,)].append(idx_x)
+        else:
+            for depth_x, idx_x in per_axis[0]:
+                for depth_y, idx_y in per_axis[1]:
+                    grouped[(depth_x, depth_y)].append(
+                        (idx_x << 32) | idx_y
+                    )
+        total = 0.0
+        for pair, cell_keys in grouped.items():
+            keys = np.asarray(cell_keys, dtype=np.uint64)
+            total += float(self._sketches[pair].estimate_many(keys).sum())
+        return total

@@ -1,0 +1,134 @@
+"""Partitions of the key domain induced by the pass-1 guide sample.
+
+Each partition exposes ``cell_of(key) -> hashable`` used by
+IO-AGGREGATE to co-locate nearby keys, and enough structure for the
+final aggregation of active keys.  With a guide sample of size
+Omega(s log s), every cell has probability mass <= 1 w.h.p. (it is an
+eps-net of the range space), which is what bounds the two-pass
+discrepancy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.aware.kd import KDNode, build_kd_hierarchy
+from repro.structures.hierarchy import RadixHierarchy
+from repro.structures.product import ProductDomain
+
+
+class OrderPartition:
+    """Cells between consecutive guide keys of an ordered domain.
+
+    Guide keys ``i_1 < ... < i_t`` induce cells ``(-inf, i_1]``,
+    ``(i_j, i_{j+1}]`` and ``(i_t, +inf)`` -- ``t + 1`` cells total.
+    """
+
+    def __init__(self, guide_keys: Sequence[int]):
+        self._boundaries = np.unique(np.asarray(guide_keys, dtype=np.int64))
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells."""
+        return self._boundaries.size + 1
+
+    def cell_of(self, key) -> int:
+        """Cell index of a key (1-D keys or 1-tuples accepted)."""
+        value = key[0] if isinstance(key, tuple) else key
+        return int(np.searchsorted(self._boundaries, value, side="left"))
+
+
+class KDPartition:
+    """Leaves of a kd-tree built over the guide sample (product domains)."""
+
+    def __init__(
+        self,
+        guide_coords: np.ndarray,
+        guide_probs: np.ndarray,
+        domain: Optional[ProductDomain] = None,
+        split_rule: str = "median",
+    ):
+        guide_coords = np.atleast_2d(np.asarray(guide_coords))
+        if guide_coords.shape[0] == 0:
+            raise ValueError("guide sample is empty; cannot build partition")
+        self.tree: KDNode = build_kd_hierarchy(
+            guide_coords,
+            np.asarray(guide_probs, dtype=float),
+            domain=domain,
+            leaf_mass=1.0,
+            split_rule=split_rule,
+        )
+
+    def cell_of(self, key: Tuple[int, ...]) -> int:
+        """Leaf cell id containing the key."""
+        return self.tree.locate(key).cell_id
+
+
+class HierarchyAncestorPartition:
+    """Lowest-selected-ancestor cells of a hierarchy (Section 5).
+
+    Selects every ancestor (including the leaf node itself) of every
+    guide key; a key's cell is its deepest selected ancestor.  Yields
+    Δ < 1 w.h.p. but the number of selected nodes grows with the
+    hierarchy depth, so it is best for shallow hierarchies.
+    """
+
+    def __init__(self, hierarchy: RadixHierarchy, guide_keys: Sequence[int]):
+        self._hierarchy = hierarchy
+        selected: Set[Tuple[int, int]] = {(0, 0)}
+        for key in guide_keys:
+            key = int(key)
+            selected.add((hierarchy.depth, key))
+            for depth, node in hierarchy.ancestors(key):
+                selected.add((depth, node))
+        self._selected = selected
+
+    @property
+    def num_cells(self) -> int:
+        """Number of selected nodes (upper bound on active keys held)."""
+        return len(self._selected)
+
+    def cell_of(self, key) -> Tuple[int, int]:
+        """Deepest selected ancestor node of the key."""
+        value = int(key[0] if isinstance(key, tuple) else key)
+        h = self._hierarchy
+        candidate = (h.depth, value)
+        if candidate in self._selected:
+            return candidate
+        for depth, node in h.ancestors(value):
+            if (depth, node) in self._selected:
+                return (depth, node)
+        return (0, 0)
+
+
+class DisjointPartition:
+    """Cells for a flat partition structure (disjoint ranges).
+
+    One cell per range label observed in the guide sample, plus one
+    cell for every maximal run of unobserved labels between consecutive
+    observed ones (at most ``2 s' + 1`` cells total).
+
+    ``labeler`` (optional) maps a *key* to its range label so the
+    partition can be used directly as a two-pass ``cell_of``.
+    """
+
+    def __init__(self, guide_labels: Sequence[int], labeler=None):
+        self._seen = np.unique(np.asarray(guide_labels, dtype=np.int64))
+        self._labeler = labeler
+
+    @property
+    def num_cells(self) -> int:
+        """Number of distinct cells reachable."""
+        return 2 * self._seen.size + 1
+
+    def cell_of(self, label) -> Tuple[str, int]:
+        """Cell of a label (or of a key when a labeler was supplied)."""
+        if self._labeler is not None:
+            label = self._labeler(label)
+        value = int(label[0] if isinstance(label, tuple) else label)
+        pos = int(np.searchsorted(self._seen, value, side="left"))
+        if pos < self._seen.size and self._seen[pos] == value:
+            return ("range", value)
+        return ("gap", pos)

@@ -1,0 +1,146 @@
+"""Lemma 3: sequences of probabilistic aggregations.
+
+Set entries stay set, aggregation is transitive (the composition of
+aggregations is an aggregation), and the inclusion/exclusion product
+inequalities survive arbitrary aggregation orders -- verified
+statistically over many seeded runs and orders.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import (
+    aggregate_pool,
+    finalize_leftover,
+    is_set,
+    pair_aggregate,
+)
+
+
+def run_order(base, order, seed):
+    p = base.copy()
+    rng = np.random.default_rng(seed)
+    leftover = aggregate_pool(p, list(order), rng)
+    finalize_leftover(p, leftover, rng)
+    return p
+
+
+class TestSetEntriesStaySet:
+    def test_zero_and_one_never_touched(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            p = np.array([0.0, 0.4, 1.0, 0.6, 0.5])
+            aggregate_pool(p, range(5), rng)
+            assert p[0] == 0.0
+            assert p[2] == 1.0
+
+    def test_entries_set_during_run_never_change(self):
+        rng = np.random.default_rng(1)
+        p = np.array([0.3, 0.4, 0.5, 0.6, 0.2])
+        snapshots = []
+        # Aggregate manually pair by pair, recording set entries.
+        active = 0
+        for i in range(1, 5):
+            if is_set(p[active]):
+                active = i
+                continue
+            if is_set(p[i]):
+                continue
+            before_set = {
+                j for j in range(5) if is_set(p[j])
+            }
+            pair_aggregate(p, active, i, rng)
+            for j in before_set:
+                assert is_set(p[j])
+            if is_set(p[active]) and not is_set(p[i]):
+                active = i
+
+
+class TestTransitivity:
+    """Composing aggregations preserves the aggregation axioms."""
+
+    def test_expectations_preserved_any_order(self):
+        base = np.array([0.25, 0.65, 0.35, 0.45, 0.3])  # sum = 2.0
+        trials = 4000
+        for order in ([0, 1, 2, 3, 4], [4, 2, 0, 3, 1], [2, 0, 4, 1, 3]):
+            sums = np.zeros(5)
+            for t in range(trials):
+                sums += run_order(base, order, t)
+            np.testing.assert_allclose(sums / trials, base, atol=0.03)
+
+    def test_sample_size_invariant_across_orders(self):
+        base = np.array([0.25, 0.65, 0.35, 0.45, 0.3])
+        for order in itertools.permutations(range(5)):
+            p = run_order(base, order, seed=hash(order) % 2**31)
+            assert int(round(p.sum())) == 2
+
+    def test_exclusion_inequality_after_long_sequence(self):
+        # E[prod (1 - p_i')] <= prod (1 - p_i) for the pair {0, 1}
+        # after aggregating a 6-entry pool.
+        base = np.array([0.3, 0.4, 0.5, 0.3, 0.3, 0.2])
+        trials = 30_000
+        prod_sum = 0.0
+        for t in range(trials):
+            p = run_order(base, range(6), t)
+            prod_sum += (1 - p[0]) * (1 - p[1])
+        bound = (1 - base[0]) * (1 - base[1])
+        assert prod_sum / trials <= bound + 0.01
+
+    def test_inclusion_inequality_after_long_sequence(self):
+        base = np.array([0.3, 0.4, 0.5, 0.3, 0.3, 0.2])
+        trials = 30_000
+        prod_sum = 0.0
+        for t in range(trials):
+            p = run_order(base, range(6), t)
+            prod_sum += p[2] * p[3]
+        bound = base[2] * base[3]
+        assert prod_sum / trials <= bound + 0.01
+
+    def test_negative_pairwise_covariance(self):
+        # VarOpt inclusions are negatively correlated: Cov(X_i, X_j) <= 0
+        # for every pair (this is the (I) inequality for |J| = 2).
+        base = np.array([0.5, 0.5, 0.5, 0.5])  # sum = 2
+        trials = 30_000
+        joint = np.zeros((4, 4))
+        marginal = np.zeros(4)
+        for t in range(trials):
+            p = run_order(base, range(4), t)
+            included = p >= 1.0 - 1e-9
+            marginal += included
+            joint += np.outer(included, included)
+        marginal /= trials
+        joint /= trials
+        for i in range(4):
+            for j in range(4):
+                if i != j:
+                    cov = joint[i, j] - marginal[i] * marginal[j]
+                    assert cov <= 0.01
+
+
+class TestDegenerateSequences:
+    def test_pool_of_identical_halves(self):
+        rng = np.random.default_rng(9)
+        p = np.full(2, 0.5)
+        leftover = aggregate_pool(p, [0, 1], rng)
+        assert leftover is None
+        assert sorted(p.tolist()) == [0.0, 1.0]
+
+    def test_probabilities_summing_just_below_one(self):
+        rng = np.random.default_rng(10)
+        p = np.array([0.4, 0.4])
+        leftover = aggregate_pool(p, [0, 1], rng)
+        assert leftover is not None
+        assert p[leftover] == pytest.approx(0.8)
+
+    def test_long_chain_numerical_stability(self):
+        # 10k tiny probabilities summing to 25: mass must be conserved
+        # to high precision through ~10k float pair aggregations.
+        rng = np.random.default_rng(11)
+        p = np.full(10_000, 0.0025)
+        total_before = p.sum()
+        leftover = aggregate_pool(p, range(10_000), rng)
+        finalize_leftover(p, leftover, rng)
+        count = int(p.sum())
+        assert abs(count - total_before) <= 1.0

@@ -1,0 +1,98 @@
+"""Tests for HT variance bounds and tail-bound confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import SampleSummary
+from repro.core.types import Dataset
+from repro.core.varopt import varopt_summary
+from repro.structures.ranges import interval
+
+
+def make_data(seed=0, n=200, size=10_000):
+    rng = np.random.default_rng(seed)
+    keys = rng.choice(size, size=n, replace=False)
+    weights = 1.0 + rng.pareto(1.2, size=n)
+    return Dataset.one_dimensional(keys, weights, size=size)
+
+
+class TestVarianceBound:
+    def test_zero_when_tau_zero(self):
+        s = SampleSummary(np.array([[1]]), np.array([2.0]), tau=0.0)
+        assert s.variance_upper_bound(interval(0, 10)) == 0.0
+
+    def test_zero_for_heavy_only_region(self):
+        s = SampleSummary(
+            np.array([[1], [9]]), np.array([10.0, 1.0]), tau=4.0
+        )
+        assert s.variance_upper_bound(interval(0, 5)) == 0.0
+        assert s.variance_upper_bound(interval(6, 10)) > 0.0
+
+    def test_bound_dominates_empirical_variance(self):
+        data = make_data()
+        box = interval(0, 5000)
+        truth_box = data.weights[data.coords[:, 0] <= 5000].sum()
+        estimates = []
+        bounds = []
+        for t in range(800):
+            summary = varopt_summary(data, 30, np.random.default_rng(t))
+            estimates.append(summary.query(box))
+            bounds.append(summary.variance_upper_bound(box))
+        empirical_var = float(np.var(estimates))
+        # The mean plug-in bound should be of the right scale: at least
+        # half the empirical variance (it is unbiased in expectation for
+        # Poisson and conservative for VarOpt).
+        assert np.mean(bounds) > 0.3 * empirical_var
+
+
+class TestConfidenceInterval:
+    def test_validation(self):
+        s = SampleSummary(np.array([[1]]), np.array([2.0]), tau=1.0)
+        with pytest.raises(ValueError):
+            s.confidence_interval(interval(0, 5), delta=0.0)
+
+    def test_degenerate_when_exact(self):
+        s = SampleSummary(np.array([[1]]), np.array([2.0]), tau=0.0)
+        lo, hi = s.confidence_interval(interval(0, 5))
+        assert lo == hi
+
+    def test_contains_estimate(self):
+        data = make_data(1)
+        summary = varopt_summary(data, 30, np.random.default_rng(0))
+        box = interval(0, 5000)
+        lo, hi = summary.confidence_interval(box, delta=0.1)
+        est = summary.query(box)
+        assert lo - 1e-9 <= est <= hi + 1e-9
+
+    def test_coverage_at_least_nominal(self):
+        # Conservative interval: empirical coverage >= 1 - delta.
+        data = make_data(2)
+        box = interval(0, 5000)
+        truth = data.weights[data.coords[:, 0] <= 5000].sum()
+        hits = 0
+        trials = 300
+        for t in range(trials):
+            summary = varopt_summary(data, 40, np.random.default_rng(t))
+            lo, hi = summary.confidence_interval(box, delta=0.1)
+            if lo - 1e-9 <= truth <= hi + 1e-9:
+                hits += 1
+        assert hits / trials >= 0.9
+
+    def test_width_shrinks_with_sample_size(self):
+        data = make_data(3, n=400)
+        box = interval(0, 5000)
+        widths = []
+        for s in (20, 200):
+            summary = varopt_summary(data, s, np.random.default_rng(1))
+            lo, hi = summary.confidence_interval(box, delta=0.1)
+            widths.append(hi - lo)
+        assert widths[1] < widths[0]
+
+    def test_zero_estimate_interval(self):
+        # No light samples in the box: lower bound 0, finite upper.
+        s = SampleSummary(
+            np.array([[100]]), np.array([1.0]), tau=5.0
+        )
+        lo, hi = s.confidence_interval(interval(0, 50), delta=0.1)
+        assert lo == 0.0
+        assert hi > 0.0

@@ -1,0 +1,190 @@
+"""Tests for the synthetic data and query generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Dataset
+from repro.datagen.distributions import (
+    pareto_weights,
+    with_heavy_head,
+    zipf_choice,
+    zipf_popularities,
+)
+from repro.datagen.network import NetworkConfig, generate_network_flows
+from repro.datagen.queries import (
+    equal_weight_cells,
+    uniform_area_queries,
+    uniform_weight_queries,
+)
+from repro.datagen.tickets import TicketConfig, clustered_leaves, generate_tickets
+from repro.structures.hierarchy import ExplicitHierarchy, hierarchy_entropy
+
+
+class TestDistributions:
+    def test_pareto_positive_and_heavy(self):
+        w = pareto_weights(20_000, alpha=1.2, rng=np.random.default_rng(0))
+        assert (w >= 1.0).all()
+        # Heavy tail: the max dwarfs the median.
+        assert w.max() > 20 * np.median(w)
+
+    def test_pareto_validation(self):
+        with pytest.raises(ValueError):
+            pareto_weights(-1)
+        with pytest.raises(ValueError):
+            pareto_weights(10, alpha=0)
+
+    def test_zipf_popularities_normalized_and_sorted(self):
+        p = zipf_popularities(50, 1.0)
+        assert p.sum() == pytest.approx(1.0)
+        assert (np.diff(p) <= 0).all()
+
+    def test_zipf_exponent_zero_uniform(self):
+        p = zipf_popularities(10, 0.0)
+        np.testing.assert_allclose(p, 0.1)
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_popularities(0)
+        with pytest.raises(ValueError):
+            zipf_popularities(5, -1)
+
+    def test_zipf_choice_skews_to_head(self):
+        draws = zipf_choice(100, 5000, 1.2, np.random.default_rng(0))
+        head = (draws < 10).mean()
+        assert head > 0.4
+
+    def test_with_heavy_head(self):
+        rng = np.random.default_rng(1)
+        base = np.ones(1000)
+        out = with_heavy_head(base, 0.01, 100.0, rng)
+        assert (out == 100.0).sum() == 10
+        assert (out == 1.0).sum() == 990
+        with pytest.raises(ValueError):
+            with_heavy_head(base, 1.5, 2.0, rng)
+
+
+class TestNetworkGenerator:
+    def test_shape_and_domain(self, network_small):
+        assert network_small.dims == 2
+        assert network_small.n > 1000
+        assert network_small.domain.is_hierarchical(0)
+        assert network_small.domain.is_hierarchical(1)
+
+    def test_deterministic_given_seed(self):
+        config = NetworkConfig(n_pairs=500, n_sources=200, n_dests=200,
+                               bits=16, min_prefix=4, max_prefix=10)
+        a = generate_network_flows(config, seed=5)
+        b = generate_network_flows(config, seed=5)
+        np.testing.assert_array_equal(a.coords, b.coords)
+        np.testing.assert_allclose(a.weights, b.weights)
+
+    def test_distinct_seeds_differ(self):
+        config = NetworkConfig(n_pairs=500, n_sources=200, n_dests=200,
+                               bits=16, min_prefix=4, max_prefix=10)
+        a = generate_network_flows(config, seed=5)
+        b = generate_network_flows(config, seed=6)
+        assert a.coords.shape != b.coords.shape or not np.array_equal(
+            a.coords, b.coords
+        )
+
+    def test_no_duplicate_keys(self, network_small):
+        assert np.unique(network_small.coords, axis=0).shape[0] == network_small.n
+
+    def test_addresses_clustered(self, network_small):
+        # Clustered addresses have lower prefix entropy than uniform.
+        h = network_small.domain.hierarchy(0)
+        observed = hierarchy_entropy(
+            h, network_small.coords[:, 0], network_small.weights, depth=8
+        )
+        rng = np.random.default_rng(0)
+        uniform_keys = rng.integers(0, h.num_leaves, size=network_small.n)
+        uniform = hierarchy_entropy(
+            h, uniform_keys, network_small.weights, depth=8
+        )
+        assert observed < uniform - 0.5
+
+    def test_weights_heavy_tailed(self, network_small):
+        w = network_small.weights
+        assert w.max() > 10 * np.median(w)
+
+
+class TestTicketGenerator:
+    def test_shape_and_domain(self, tickets_small):
+        assert tickets_small.dims == 2
+        assert tickets_small.domain.is_hierarchical(0)
+
+    def test_heavy_head_present(self, tickets_small):
+        # "many high weight keys": the top 2% carry a large share.
+        w = np.sort(tickets_small.weights)[::-1]
+        top = w[: max(1, len(w) // 50)].sum()
+        assert top / w.sum() > 0.3
+
+    def test_clustered_leaves_skewed(self):
+        h = ExplicitHierarchy((8, 8, 8))
+        rng = np.random.default_rng(0)
+        leaves = clustered_leaves(h, 5000, 1.2, rng)
+        assert leaves.min() >= 0 and leaves.max() < h.num_leaves
+        top_nodes = h.node_of(leaves, 1)
+        counts = np.bincount(top_nodes, minlength=8)
+        assert counts.max() > 2 * counts.mean()
+
+    def test_deterministic_given_seed(self):
+        config = TicketConfig(n_combinations=400)
+        a = generate_tickets(config, seed=3)
+        b = generate_tickets(config, seed=3)
+        np.testing.assert_array_equal(a.coords, b.coords)
+
+
+class TestQueryGenerators:
+    def test_uniform_area_counts(self, network_small):
+        rng = np.random.default_rng(0)
+        queries = uniform_area_queries(
+            network_small.domain, 10, 5, max_fraction=0.1, rng=rng
+        )
+        assert len(queries) == 10
+        assert all(q.num_ranges == 5 for q in queries)
+
+    def test_uniform_area_disjoint(self, network_small):
+        rng = np.random.default_rng(1)
+        queries = uniform_area_queries(
+            network_small.domain, 5, 8, max_fraction=0.1, rng=rng
+        )
+        for q in queries:
+            boxes = q.boxes
+            for i, a in enumerate(boxes):
+                for b in boxes[i + 1:]:
+                    assert not a.intersects(b)
+
+    def test_uniform_area_impossible_raises(self):
+        from repro.structures.product import line_domain
+
+        rng = np.random.default_rng(2)
+        with pytest.raises(RuntimeError):
+            # 50 disjoint rects covering ~90% each cannot fit.
+            uniform_area_queries(
+                line_domain(100), 1, 50, max_fraction=0.9, rng=rng,
+                max_tries=5,
+            )
+
+    def test_equal_weight_cells_are_balanced(self, network_small):
+        cells = equal_weight_cells(network_small, 64)
+        from repro.summaries.exact import ExactSummary
+
+        exact = ExactSummary(network_small)
+        weights = np.array([exact.query(c) for c in cells])
+        weights = weights[weights > 0]
+        target = network_small.total_weight / 64
+        # Most cells within 4x of the target mass.
+        assert np.median(weights) < 4 * target
+
+    def test_uniform_weight_queries_distinct_cells(self, network_small):
+        rng = np.random.default_rng(3)
+        queries = uniform_weight_queries(network_small, 6, 4, 64, rng=rng)
+        assert len(queries) == 6
+        for q in queries:
+            assert q.num_ranges == 4
+
+    def test_uniform_weight_too_few_cells(self, network_small):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            uniform_weight_queries(network_small, 2, 50, 4, rng=rng)

@@ -1,0 +1,145 @@
+"""Tests for discrepancy measurement utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.discrepancy import (
+    box_discrepancy,
+    discrepancy_summary,
+    hierarchy_node_discrepancies,
+    max_box_discrepancy,
+    max_hierarchy_discrepancy,
+    max_interval_discrepancy,
+    max_prefix_discrepancy,
+    multirange_discrepancy,
+    prefix_discrepancies,
+)
+from repro.structures.hierarchy import BitHierarchy
+from repro.structures.ranges import Box, MultiRangeQuery, interval
+
+
+def brute_force_interval_max(keys, probs, included):
+    """O(n^2) reference for the interval discrepancy maximum."""
+    order = np.argsort(keys)
+    deltas = included[order].astype(float) - probs[order]
+    best = 0.0
+    n = len(deltas)
+    for i in range(n):
+        running = 0.0
+        for j in range(i, n):
+            running += deltas[j]
+            best = max(best, abs(running))
+    return best
+
+
+class TestPrefixAndInterval:
+    def test_zero_when_perfect(self):
+        keys = np.arange(10)
+        probs = np.full(10, 0.5)
+        included = np.array([True, False] * 5)
+        # Prefix discrepancy alternates between 0.5 and 0.
+        assert max_prefix_discrepancy(keys, probs, included) == pytest.approx(0.5)
+
+    def test_prefix_array_shape(self):
+        keys = np.arange(4)
+        pref = prefix_discrepancies(keys, np.full(4, 0.5), np.zeros(4, bool))
+        assert pref.shape == (5,)
+        assert pref[0] == 0.0
+
+    def test_interval_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        for trial in range(10):
+            n = 30
+            keys = rng.permutation(1000)[:n]
+            probs = rng.random(n)
+            included = rng.random(n) < probs
+            fast = max_interval_discrepancy(keys, probs, included)
+            slow = brute_force_interval_max(keys, probs, included)
+            assert fast == pytest.approx(slow, abs=1e-9)
+
+    def test_interval_at_least_prefix(self):
+        rng = np.random.default_rng(1)
+        n = 50
+        keys = np.arange(n)
+        probs = rng.random(n)
+        included = rng.random(n) < probs
+        assert max_interval_discrepancy(
+            keys, probs, included
+        ) >= max_prefix_discrepancy(keys, probs, included) - 1e-12
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            max_prefix_discrepancy(
+                np.arange(3), np.ones(2), np.zeros(3, bool)
+            )
+
+
+class TestHierarchyDiscrepancy:
+    def test_per_depth_shape(self):
+        h = BitHierarchy(5)
+        keys = np.arange(32)
+        probs = np.full(32, 0.25)
+        included = np.zeros(32, bool)
+        per_depth = hierarchy_node_discrepancies(h, keys, probs, included)
+        assert per_depth.shape == (6,)
+        assert per_depth[0] == pytest.approx(8.0)  # root: 0 vs 8 expected
+
+    def test_max_over_nodes_bruteforce(self):
+        h = BitHierarchy(6)
+        rng = np.random.default_rng(2)
+        n = 40
+        keys = rng.choice(64, size=n, replace=False)
+        probs = rng.random(n)
+        included = rng.random(n) < probs
+        fast = max_hierarchy_discrepancy(h, keys, probs, included)
+        slow = 0.0
+        for depth in range(h.depth + 1):
+            for node in range(64 // h.span(depth)):
+                lo, hi = h.node_interval(depth, node)
+                mask = (keys >= lo) & (keys < hi)
+                slow = max(
+                    slow,
+                    abs(included[mask].sum() - probs[mask].sum()),
+                )
+        assert fast == pytest.approx(slow, abs=1e-9)
+
+    def test_summary_bundle(self):
+        h = BitHierarchy(4)
+        keys = np.arange(16)
+        probs = np.full(16, 0.5)
+        included = np.zeros(16, bool)
+        bundle = discrepancy_summary(keys, probs, included, hierarchy=h)
+        assert set(bundle) == {"prefix", "interval", "hierarchy"}
+        assert bundle["hierarchy"] == pytest.approx(8.0)
+
+
+class TestBoxDiscrepancy:
+    def test_single_box(self):
+        coords = np.array([[1, 1], [3, 3], [5, 5]])
+        probs = np.array([0.5, 0.5, 0.5])
+        included = np.array([True, False, True])
+        box = Box((0, 0), (3, 3))
+        assert box_discrepancy(coords, probs, included, box) == pytest.approx(0.0)
+        box2 = Box((0, 0), (5, 5))
+        assert box_discrepancy(coords, probs, included, box2) == pytest.approx(0.5)
+
+    def test_max_over_boxes(self):
+        coords = np.array([[1], [3]])
+        probs = np.array([0.5, 0.5])
+        included = np.array([True, True])
+        boxes = [interval(0, 1), interval(0, 3)]
+        assert max_box_discrepancy(coords, probs, included, boxes) == pytest.approx(1.0)
+
+    def test_max_over_empty(self):
+        assert max_box_discrepancy(
+            np.empty((0, 1)), np.empty(0), np.empty(0, bool), []
+        ) == 0.0
+
+    def test_multirange(self):
+        coords = np.array([[1], [5], [9]])
+        probs = np.array([0.4, 0.4, 0.4])
+        included = np.array([True, False, True])
+        q = MultiRangeQuery([interval(0, 2), interval(8, 9)])
+        assert multirange_discrepancy(
+            coords, probs, included, q
+        ) == pytest.approx(abs(2 - 0.8))

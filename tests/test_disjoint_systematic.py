@@ -1,0 +1,168 @@
+"""Tests for the disjoint-range aware sampler and systematic sampling."""
+
+import numpy as np
+import pytest
+
+from repro.aware.disjoint import disjoint_aware_sample, disjoint_aware_summary
+from repro.aware.systematic import systematic_sample, systematic_summary
+from repro.core.discrepancy import (
+    max_interval_discrepancy,
+    max_prefix_discrepancy,
+)
+from repro.core.ipps import ipps_probabilities
+
+
+class TestDisjointAware:
+    def make_input(self, seed, n=150, n_ranges=12):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, n_ranges, size=n)
+        weights = 1.0 + rng.pareto(1.2, size=n)
+        return labels, weights
+
+    def test_exact_sample_size(self):
+        labels, weights = self.make_input(0)
+        for s in (4, 15, 60):
+            included, _, _ = disjoint_aware_sample(
+                labels, weights, s, np.random.default_rng(1)
+            )
+            assert included.size == s
+
+    def test_every_range_floor_or_ceiling(self):
+        for seed in range(30):
+            labels, weights = self.make_input(seed)
+            included, tau, probs = disjoint_aware_sample(
+                labels, weights, 18, np.random.default_rng(seed + 50)
+            )
+            mask = np.zeros(len(labels), bool)
+            mask[included] = True
+            for label in np.unique(labels):
+                in_range = labels == label
+                expected = probs[in_range].sum()
+                actual = mask[in_range].sum()
+                assert abs(actual - expected) < 1.0 + 1e-9
+
+    def test_inclusion_probabilities_preserved(self):
+        labels = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        weights = np.array([5.0, 4.0, 3.0, 2.0, 1.0, 1.0, 1.0, 1.0])
+        p, _ = ipps_probabilities(weights, 4)
+        counts = np.zeros(8)
+        trials = 6000
+        for t in range(trials):
+            included, _, _ = disjoint_aware_sample(
+                labels, weights, 4, np.random.default_rng(t)
+            )
+            counts[included] += 1
+        np.testing.assert_allclose(counts / trials, p, atol=0.03)
+
+    def test_summary_interface(self, line_dataset, rng):
+        labels = line_dataset.keys_1d() // 1000
+        summary = disjoint_aware_summary(line_dataset, labels, 20, rng)
+        assert summary.size == 20
+
+
+class TestSystematic:
+    def make_input(self, seed, n=120):
+        rng = np.random.default_rng(seed)
+        keys = rng.choice(10_000, size=n, replace=False)
+        weights = 1.0 + rng.pareto(1.2, size=n)
+        return keys, weights
+
+    def test_exact_sample_size(self):
+        keys, weights = self.make_input(0)
+        for s in (5, 20, 60):
+            included, _, _ = systematic_sample(
+                keys, weights, s, np.random.default_rng(1)
+            )
+            assert included.size == s
+
+    def test_prefix_discrepancy_below_one(self):
+        # Systematic sampling achieves Delta < 1 on all prefixes ...
+        for seed in range(25):
+            keys, weights = self.make_input(seed)
+            included, tau, probs = systematic_sample(
+                keys, weights, 20, np.random.default_rng(seed)
+            )
+            mask = np.zeros(len(keys), bool)
+            mask[included] = True
+            assert max_prefix_discrepancy(keys, probs, mask) < 1.0 + 1e-9
+
+    def test_interval_discrepancy_below_two(self):
+        # ... hence < 2 on all intervals (difference of two prefixes).
+        for seed in range(25):
+            keys, weights = self.make_input(seed)
+            included, tau, probs = systematic_sample(
+                keys, weights, 20, np.random.default_rng(seed)
+            )
+            mask = np.zeros(len(keys), bool)
+            mask[included] = True
+            assert max_interval_discrepancy(keys, probs, mask) < 2.0 + 1e-9
+
+    def test_inclusion_probabilities_preserved(self):
+        keys = np.arange(8)
+        weights = np.array([5.0, 4.0, 3.0, 2.0, 1.0, 1.0, 1.0, 1.0])
+        p, _ = ipps_probabilities(weights, 4)
+        counts = np.zeros(8)
+        trials = 8000
+        for t in range(trials):
+            included, _, _ = systematic_sample(
+                keys, weights, 4, np.random.default_rng(t)
+            )
+            counts[included] += 1
+        np.testing.assert_allclose(counts / trials, p, atol=0.03)
+
+    def test_positive_correlations_exist(self):
+        # The known systematic-sampling defect (why it is not VarOpt):
+        # inclusions of keys exactly one probability-unit apart are
+        # perfectly positively correlated.
+        keys = np.arange(4)
+        weights = np.ones(4)  # p_i = 1/2 each for s = 2
+        both = 0
+        trials = 4000
+        for t in range(trials):
+            included, _, _ = systematic_sample(
+                keys, weights, 2, np.random.default_rng(t)
+            )
+            chosen = set(included.tolist())
+            if 0 in chosen and 2 in chosen:
+                both += 1
+        # Independent sampling would give 0.25; systematic gives ~0.5.
+        assert both / trials > 0.4
+
+    def test_summary_interface(self, line_dataset, rng):
+        summary = systematic_summary(line_dataset, 25, rng)
+        assert summary.size == 25
+
+
+class TestDeterministicOrderSet:
+    def make_input(self, seed, n=120):
+        rng = np.random.default_rng(seed)
+        keys = rng.choice(10_000, size=n, replace=False)
+        weights = 1.0 + rng.pareto(1.2, size=n)
+        return keys, weights
+
+    def test_exact_size(self):
+        from repro.aware.systematic import deterministic_order_sample
+
+        keys, weights = self.make_input(0)
+        included, tau, probs = deterministic_order_sample(keys, weights, 20)
+        assert included.size == 20
+
+    def test_prefix_discrepancy_below_one(self):
+        from repro.aware.systematic import deterministic_order_sample
+
+        for seed in range(15):
+            keys, weights = self.make_input(seed)
+            included, tau, probs = deterministic_order_sample(
+                keys, weights, 20
+            )
+            mask = np.zeros(len(keys), bool)
+            mask[included] = True
+            assert max_prefix_discrepancy(keys, probs, mask) < 1.0 + 1e-9
+
+    def test_fully_deterministic(self):
+        from repro.aware.systematic import deterministic_order_sample
+
+        keys, weights = self.make_input(3)
+        a, _, _ = deterministic_order_sample(keys, weights, 15)
+        b, _, _ = deterministic_order_sample(keys, weights, 15)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,193 @@
+"""Tests for HT estimation, Poisson sampling, and tail bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    eps_approximation_size,
+    estimate_tail_bound,
+    expected_discrepancy,
+    oblivious_max_discrepancy,
+    product_structure_discrepancy,
+)
+from repro.core.estimator import SampleSummary, summary_from_inclusion
+from repro.core.ipps import ipps_probabilities
+from repro.core.poisson import poisson_sample, poisson_summary
+from repro.core.types import Dataset
+from repro.structures.ranges import Box, MultiRangeQuery, interval
+
+
+class TestSampleSummary:
+    def make(self):
+        coords = np.array([[1], [5], [9]])
+        weights = np.array([10.0, 2.0, 3.0])
+        return SampleSummary(coords=coords, weights=weights, tau=4.0)
+
+    def test_adjusted_weights(self):
+        s = self.make()
+        np.testing.assert_allclose(s.adjusted_weights, [10.0, 4.0, 4.0])
+
+    def test_tau_zero_adjusted_equals_weights(self):
+        s = SampleSummary(np.array([[1]]), np.array([2.0]), tau=0.0)
+        np.testing.assert_allclose(s.adjusted_weights, [2.0])
+
+    def test_estimate_total(self):
+        assert self.make().estimate_total() == pytest.approx(18.0)
+
+    def test_query_box(self):
+        s = self.make()
+        assert s.query(interval(0, 5)) == pytest.approx(14.0)
+        assert s.query(interval(6, 20)) == pytest.approx(4.0)
+        assert s.query(interval(2, 4)) == 0.0
+
+    def test_query_multi(self):
+        s = self.make()
+        q = MultiRangeQuery([interval(0, 1), interval(9, 9)])
+        assert s.query_multi(q) == pytest.approx(14.0)
+
+    def test_estimate_subset_predicate(self):
+        s = self.make()
+        est = s.estimate_subset(lambda c: c[:, 0] % 2 == 1)
+        assert est == pytest.approx(18.0)
+
+    def test_representatives_ordering(self):
+        s = self.make()
+        reps = s.representatives(interval(0, 10))
+        assert reps[0, 0] == 1  # heaviest adjusted weight first
+
+    def test_representatives_k(self):
+        s = self.make()
+        assert s.representatives(interval(0, 10), k=2).shape == (2, 1)
+
+    def test_sampled_count(self):
+        assert self.make().sampled_count(interval(0, 5)) == 2
+
+    def test_empty_summary(self):
+        s = SampleSummary(np.empty((0, 1)), np.empty(0), tau=1.0)
+        assert s.size == 0
+        assert s.query(interval(0, 10)) == 0.0
+        assert s.query_multi(MultiRangeQuery([interval(0, 1)])) == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSummary(np.array([[1], [2]]), np.array([1.0]), tau=1.0)
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSummary(np.array([[1]]), np.array([1.0]), tau=-0.5)
+
+    def test_summary_from_inclusion(self):
+        coords = np.arange(10).reshape(-1, 1)
+        weights = np.ones(10)
+        s = summary_from_inclusion(coords, weights, np.array([2, 4]), 1.5)
+        assert s.size == 2
+        assert s.coords[0, 0] == 2
+
+
+class TestPoisson:
+    def test_expected_size(self):
+        w = 1.0 + np.random.default_rng(0).pareto(1.2, size=400)
+        s = 40
+        sizes = [
+            poisson_sample(w, s, np.random.default_rng(t))[0].size
+            for t in range(600)
+        ]
+        assert np.mean(sizes) == pytest.approx(s, rel=0.07)
+
+    def test_size_varies_unlike_varopt(self):
+        w = np.ones(200)
+        sizes = {
+            poisson_sample(w, 20, np.random.default_rng(t))[0].size
+            for t in range(60)
+        }
+        assert len(sizes) > 1  # Poisson size is random
+
+    def test_heavy_always_included(self):
+        w = np.array([1000.0] + [1.0] * 99)
+        for t in range(30):
+            included, _ = poisson_sample(w, 5, np.random.default_rng(t))
+            assert 0 in included
+
+    def test_summary_unbiased_total(self, line_dataset):
+        estimates = [
+            poisson_summary(line_dataset, 30, np.random.default_rng(t))
+            .estimate_total()
+            for t in range(1500)
+        ]
+        assert np.mean(estimates) == pytest.approx(
+            line_dataset.total_weight, rel=0.05
+        )
+
+
+class TestBounds:
+    def test_chernoff_upper_monotone(self):
+        values = [chernoff_upper_tail(10, a) for a in (11, 15, 20, 30)]
+        assert values == sorted(values, reverse=True)
+
+    def test_chernoff_upper_vacuous(self):
+        assert chernoff_upper_tail(10, 9) == 1.0
+        assert chernoff_upper_tail(10, 10) == 1.0
+
+    def test_chernoff_zero_mean(self):
+        assert chernoff_upper_tail(0, 1) == 0.0
+
+    def test_chernoff_lower_monotone(self):
+        values = [chernoff_lower_tail(10, a) for a in (9, 5, 2, 0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_chernoff_lower_vacuous(self):
+        assert chernoff_lower_tail(10, 10) == 1.0
+        assert chernoff_lower_tail(10, -1) == 0.0
+
+    def test_chernoff_matches_simulation(self):
+        # Pr[Binomial(100, 0.1) >= 20] should respect the bound.
+        rng = np.random.default_rng(0)
+        draws = rng.binomial(100, 0.1, size=200_000)
+        empirical = float((draws >= 20).mean())
+        assert empirical <= chernoff_upper_tail(10.0, 20.0)
+
+    def test_estimate_tail_bound_at_truth(self):
+        assert estimate_tail_bound(100.0, 100.0, 5.0) == 1.0
+
+    def test_estimate_tail_bound_decays(self):
+        far = estimate_tail_bound(100.0, 200.0, 5.0)
+        near = estimate_tail_bound(100.0, 120.0, 5.0)
+        assert far < near < 1.0
+
+    def test_estimate_tail_bound_zero_tau(self):
+        assert estimate_tail_bound(100.0, 100.0, 0.0) == 1.0
+        assert estimate_tail_bound(100.0, 50.0, 0.0) == 0.0
+
+    def test_expected_discrepancy(self):
+        assert expected_discrepancy(16.0) == 4.0
+        assert expected_discrepancy(-1.0) == 0.0
+
+    def test_eps_approximation_size_monotone(self):
+        small = eps_approximation_size(0.1, 2, 0.01)
+        smaller_eps = eps_approximation_size(0.01, 2, 0.01)
+        assert smaller_eps > small
+
+    def test_eps_approximation_validation(self):
+        with pytest.raises(ValueError):
+            eps_approximation_size(0.0, 2, 0.1)
+        with pytest.raises(ValueError):
+            eps_approximation_size(0.1, 0, 0.1)
+        with pytest.raises(ValueError):
+            eps_approximation_size(0.1, 2, 1.5)
+
+    def test_oblivious_max_discrepancy(self):
+        assert oblivious_max_discrepancy(1) == 1.0
+        assert oblivious_max_discrepancy(100) == pytest.approx(
+            math.sqrt(100 * math.log(100))
+        )
+
+    def test_product_structure_discrepancy(self):
+        # d=1 gives O(1); d=2 gives 4*sqrt(s).
+        assert product_structure_discrepancy(100, 1) == pytest.approx(2.0)
+        assert product_structure_discrepancy(100, 2) == pytest.approx(40.0)
+        with pytest.raises(ValueError):
+            product_structure_discrepancy(0, 2)

@@ -1,0 +1,65 @@
+"""Tiny-scale end-to-end runs of the figure functions not covered in
+test_harness_figures (fig3b, fig4b, fig4c), plus cross-figure checks."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.tickets import TicketConfig, generate_tickets
+from repro.experiments.figures import ALL_FIGURES, fig3b, fig4b, fig4c
+from repro.experiments.report import render_figure
+
+
+@pytest.fixture(scope="module")
+def tiny_tickets():
+    return generate_tickets(TicketConfig(n_combinations=1000), seed=31)
+
+
+def test_fig3b_runs(tiny_tickets):
+    result = fig3b(tiny_tickets, sizes=(60,), methods=("aware", "obliv"))
+    assert set(result.series) == {"aware", "obliv"}
+    for series in result.series.values():
+        assert all(y > 0 for _x, y in series)
+
+
+def test_fig4b_runs(tiny_tickets):
+    result = fig4b(
+        tiny_tickets,
+        size=120,
+        ranges_per_query=4,
+        fractions=(0.05, 0.15),
+        n_queries=4,
+        methods=("aware", "obliv"),
+        repeats=1,
+    )
+    assert "aware" in result.series
+    # x values are realized query-weight fractions in (0, 1].
+    for x, _y in result.series["aware"]:
+        assert 0 < x <= 1
+
+
+def test_fig4c_runs(tiny_tickets):
+    result = fig4c(
+        tiny_tickets,
+        size=120,
+        ranges_per_query=3,
+        cell_counts=(30, 10),
+        n_queries=4,
+        methods=("obliv",),
+        repeats=1,
+    )
+    assert len(result.series["obliv"]) == 2
+
+
+def test_all_figures_registry_complete():
+    assert set(ALL_FIGURES) == {
+        "fig2a", "fig2b", "fig2c",
+        "fig3a", "fig3b", "fig3c",
+        "fig4a", "fig4b", "fig4c",
+    }
+
+
+def test_every_figure_renders(tiny_tickets):
+    result = fig3b(tiny_tickets, sizes=(60,), methods=("obliv",))
+    text = render_figure(result)
+    assert "Figure 3(b)" in text
+    assert "obliv" in text

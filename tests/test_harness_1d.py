@@ -1,0 +1,66 @@
+"""The method registry also works on 1-D (ordered) datasets.
+
+The paper's evaluation is two-dimensional, but every summary in the
+library supports 1-D domains; this guards the shared interface across
+dimensionalities (time-series use cases).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen.timeseries import TimeSeriesConfig, generate_bursty_series
+from repro.experiments.harness import METHODS, build_summary, ground_truths
+from repro.structures.ranges import MultiRangeQuery, interval
+
+
+@pytest.fixture(scope="module")
+def series():
+    return generate_bursty_series(
+        TimeSeriesConfig(horizon=1 << 16, n_background=1500,
+                         n_bursts=4, burst_events=150),
+        seed=9,
+    )
+
+
+@pytest.fixture(scope="module")
+def window_queries(series):
+    horizon = series.domain.axes[0].size
+    step = horizon // 8
+    return [
+        MultiRangeQuery([interval(i * step, (i + 1) * step - 1)])
+        for i in range(8)
+    ]
+
+
+@pytest.mark.parametrize("method", sorted(METHODS))
+def test_method_builds_and_answers_1d(method, series, window_queries):
+    summary, seconds = build_summary(
+        method, series, 80, np.random.default_rng(1)
+    )
+    assert seconds >= 0
+    estimates = summary.query_many(window_queries)
+    assert len(estimates) == len(window_queries)
+    assert all(np.isfinite(e) for e in estimates)
+
+
+@pytest.mark.parametrize("method", ["aware", "obliv", "qdigest"])
+def test_reasonable_1d_accuracy(method, series, window_queries):
+    truths = ground_truths(series, window_queries)
+    total = series.total_weight
+    summary, _ = build_summary(
+        method, series, 300, np.random.default_rng(2)
+    )
+    estimates = np.asarray(summary.query_many(window_queries))
+    # Windows partition the domain: errors should be a small fraction
+    # of the total for every method at s=300 (sanity, not a race).
+    mean_err = float(np.abs(estimates - truths).mean() / total)
+    assert mean_err < 0.1
+
+
+def test_window_estimates_sum_to_total_for_samples(series, window_queries):
+    summary, _ = build_summary(
+        "aware", series, 200, np.random.default_rng(3)
+    )
+    estimates = np.asarray(summary.query_many(window_queries))
+    # The eight windows tile the domain exactly.
+    assert estimates.sum() == pytest.approx(summary.estimate_total())

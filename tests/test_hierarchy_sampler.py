@@ -1,0 +1,165 @@
+"""Tests for the hierarchy-aware sampler (Section 3): Delta < 1.
+
+Includes the paper's Figure 1 worked example: 10 weighted leaves, a
+target size of 4, and the guarantee that every internal node holds the
+floor or ceiling of its expected count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aware.hierarchy_sampler import (
+    hierarchy_aware_sample,
+    hierarchy_aware_summary,
+)
+from repro.core.discrepancy import max_hierarchy_discrepancy
+from repro.core.ipps import ipps_probabilities
+from repro.structures.hierarchy import BitHierarchy, ExplicitHierarchy
+from repro.structures.product import ProductDomain
+
+
+class TestFigure1Example:
+    """The worked example of Figure 1 (weights 6,4,2,3,2,4,3,8,7,1; s=4)."""
+
+    WEIGHTS = np.array([6.0, 4.0, 2.0, 3.0, 2.0, 4.0, 3.0, 8.0, 7.0, 1.0])
+
+    def figure1_hierarchy(self):
+        # The example's tree is irregular; we embed the 10 leaves in a
+        # 16-leaf binary hierarchy preserving the grouping
+        # ((1,2),(3,4)) , ((5),(6,7),(8,9,10)):
+        # left subtree = keys 0..7, right subtree = keys 8..15.
+        keys = np.array([0, 1, 2, 3, 8, 10, 11, 12, 13, 14])
+        return BitHierarchy(4), keys
+
+    def test_ipps_probabilities_match_paper(self):
+        # The paper lists IPPS probabilities for s=4:
+        # 0.3 0.6 0.4 0.7 0.1 0.8 0.4 0.2 0.3 0.2 (scaled by tau=10...)
+        p, tau = ipps_probabilities(self.WEIGHTS, 4)
+        expected = np.array([0.6, 0.4, 0.2, 0.3, 0.2, 0.4, 0.3, 0.8, 0.7, 0.1])
+        # Paper's figure lists the leaf weights in a different leaf
+        # order than its IPPS table; verify the multiset matches.
+        assert tau == pytest.approx(10.0)
+        assert sorted(np.round(p, 6)) == pytest.approx(sorted(expected))
+
+    def test_sample_size_is_exactly_four(self):
+        h, keys = self.figure1_hierarchy()
+        for t in range(50):
+            included, tau, probs = hierarchy_aware_sample(
+                keys, self.WEIGHTS, 4, h, np.random.default_rng(t)
+            )
+            assert included.size == 4
+
+    def test_every_node_floor_or_ceiling(self):
+        h, keys = self.figure1_hierarchy()
+        for t in range(100):
+            included, tau, probs = hierarchy_aware_sample(
+                keys, self.WEIGHTS, 4, h, np.random.default_rng(t)
+            )
+            mask = np.zeros(len(keys), bool)
+            mask[included] = True
+            delta = max_hierarchy_discrepancy(h, keys, probs, mask)
+            assert delta < 1.0 + 1e-9
+
+
+class TestHierarchyAware:
+    def make_input(self, seed, bits=10, n=150):
+        rng = np.random.default_rng(seed)
+        h = BitHierarchy(bits)
+        keys = rng.choice(h.num_leaves, size=n, replace=False)
+        weights = 1.0 + rng.pareto(1.2, size=n)
+        return h, keys, weights
+
+    def test_exact_sample_size(self):
+        h, keys, weights = self.make_input(0)
+        for s in (3, 20, 77):
+            included, _, _ = hierarchy_aware_sample(
+                keys, weights, s, h, np.random.default_rng(1)
+            )
+            assert included.size == s
+
+    def test_node_discrepancy_below_one(self):
+        # The headline Section 3 guarantee across many instances.
+        for seed in range(30):
+            h, keys, weights = self.make_input(seed)
+            included, tau, probs = hierarchy_aware_sample(
+                keys, weights, 25, h, np.random.default_rng(seed + 500)
+            )
+            mask = np.zeros(len(keys), bool)
+            mask[included] = True
+            delta = max_hierarchy_discrepancy(h, keys, probs, mask)
+            assert delta < 1.0 + 1e-9, f"seed {seed}: delta {delta}"
+
+    def test_explicit_hierarchy_discrepancy(self):
+        rng = np.random.default_rng(9)
+        h = ExplicitHierarchy((4, 3, 2, 5))
+        keys = rng.choice(h.num_leaves, size=80, replace=False)
+        weights = 1.0 + rng.pareto(1.0, size=80)
+        for t in range(20):
+            included, tau, probs = hierarchy_aware_sample(
+                keys, weights, 12, h, np.random.default_rng(t)
+            )
+            mask = np.zeros(80, bool)
+            mask[included] = True
+            assert max_hierarchy_discrepancy(h, keys, probs, mask) < 1 + 1e-9
+
+    def test_inclusion_probabilities_preserved(self):
+        h = BitHierarchy(4)
+        keys = np.arange(8)
+        weights = np.array([5.0, 4.0, 3.0, 2.0, 1.0, 1.0, 1.0, 1.0])
+        s = 4
+        p, _ = ipps_probabilities(weights, s)
+        counts = np.zeros(8)
+        trials = 6000
+        for t in range(trials):
+            included, _, _ = hierarchy_aware_sample(
+                keys, weights, s, h, np.random.default_rng(t)
+            )
+            counts[included] += 1
+        np.testing.assert_allclose(counts / trials, p, atol=0.03)
+
+    def test_unbiased_node_estimates(self):
+        # HT estimates of a subtree's weight are unbiased.
+        h, keys, weights = self.make_input(4, bits=8, n=100)
+        node_lo, node_hi = h.node_interval(2, 1)
+        subtree = (keys >= node_lo) & (keys < node_hi)
+        truth = weights[subtree].sum()
+        estimates = []
+        for t in range(3000):
+            included, tau, _ = hierarchy_aware_sample(
+                keys, weights, 20, h, np.random.default_rng(t)
+            )
+            adj = np.maximum(weights[included], tau)
+            mask = (keys[included] >= node_lo) & (keys[included] < node_hi)
+            estimates.append(adj[mask].sum())
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.08)
+
+    def test_keys_out_of_domain_rejected(self):
+        h = BitHierarchy(4)
+        with pytest.raises(ValueError):
+            hierarchy_aware_sample(
+                np.array([99]), np.array([1.0]), 1, h,
+                np.random.default_rng(0),
+            )
+
+    def test_duplicate_leaves(self):
+        h = BitHierarchy(4)
+        keys = np.array([3, 3, 3, 3, 7, 7])
+        weights = np.ones(6)
+        included, _, _ = hierarchy_aware_sample(
+            keys, weights, 3, h, np.random.default_rng(0)
+        )
+        assert included.size == 3
+
+    def test_summary_interface(self, hier_dataset, rng):
+        summary = hierarchy_aware_summary(hier_dataset, 25, rng)
+        assert summary.size == 25
+
+    def test_deep_hierarchy_no_recursion_error(self):
+        rng = np.random.default_rng(10)
+        h = BitHierarchy(32)
+        keys = rng.integers(0, 2**32, size=500)
+        weights = 1.0 + rng.pareto(1.1, size=500)
+        included, _, _ = hierarchy_aware_sample(
+            keys, weights, 40, h, rng
+        )
+        assert included.size == 40

@@ -1,0 +1,178 @@
+"""Cross-module integration tests: the paper's end-to-end claims."""
+
+import numpy as np
+import pytest
+
+from repro.core.discrepancy import multirange_discrepancy
+from repro.core.ipps import ipps_probabilities
+from repro.core.poisson import poisson_sample
+from repro.core.varopt import varopt_sample
+from repro.datagen.queries import uniform_weight_queries
+from repro.experiments.harness import build_summary, ground_truths
+from repro.structures.hierarchy import BitHierarchy
+from repro.structures.ranges import Box, MultiRangeQuery
+from repro.aware.hierarchy_sampler import hierarchy_aware_sample
+from repro.twopass.two_pass import two_pass_summary
+
+
+class TestVarOptBeatsPoissonVariance:
+    """Appendix A: VarOpt subset variance <= Poisson IPPS variance."""
+
+    def test_total_estimate_variance(self):
+        rng0 = np.random.default_rng(0)
+        w = 1.0 + rng0.pareto(1.1, size=120)
+        s = 15
+        p, tau = ipps_probabilities(w, s)
+        varopt_est, poisson_est = [], []
+        for t in range(3000):
+            inc_v, _ = varopt_sample(w, s, np.random.default_rng(t))
+            adj = np.maximum(w[inc_v], tau)
+            varopt_est.append(adj.sum())
+            inc_p, _ = poisson_sample(w, s, np.random.default_rng(t + 10**6))
+            adj_p = np.maximum(w[inc_p], tau)
+            poisson_est.append(adj_p.sum())
+        # VarOpt's total estimate has (near) zero variance; Poisson's
+        # does not.
+        assert np.var(varopt_est) < 0.1 * np.var(poisson_est)
+
+
+class TestMultiRangeClaims:
+    """Lemma 4 / Appendix C: multi-range discrepancy for hierarchies."""
+
+    def test_hierarchy_multirange_discrepancy_at_most_num_ranges(self):
+        h = BitHierarchy(10)
+        rng0 = np.random.default_rng(1)
+        n = 400
+        keys = rng0.choice(h.num_leaves, size=n, replace=False)
+        weights = 1.0 + rng0.pareto(1.2, size=n)
+        # A query spanning 6 disjoint depth-3 nodes.
+        nodes = [0, 1, 3, 4, 6, 7]
+        boxes = []
+        for node in nodes:
+            lo, hi = h.node_interval(3, node)
+            boxes.append(Box((lo,), (hi - 1,)))
+        query = MultiRangeQuery(boxes)
+        for t in range(40):
+            included, tau, probs = hierarchy_aware_sample(
+                keys, weights, 30, h, np.random.default_rng(t)
+            )
+            mask = np.zeros(n, bool)
+            mask[included] = True
+            coords = keys.reshape(-1, 1)
+            delta = multirange_discrepancy(coords, probs, mask, query)
+            assert delta <= len(nodes) + 1e-9
+
+    def test_hierarchy_multirange_concentrates_below_linear(self):
+        # The *average* multi-range discrepancy behaves like sqrt(L),
+        # far below the worst-case L.
+        h = BitHierarchy(10)
+        rng0 = np.random.default_rng(2)
+        n = 600
+        keys = rng0.choice(h.num_leaves, size=n, replace=False)
+        weights = 1.0 + rng0.pareto(1.2, size=n)
+        nodes = list(range(0, 16, 2))  # 8 disjoint depth-4 nodes
+        boxes = []
+        for node in nodes:
+            lo, hi = h.node_interval(4, node)
+            boxes.append(Box((lo,), (hi - 1,)))
+        query = MultiRangeQuery(boxes)
+        deltas = []
+        for t in range(60):
+            included, tau, probs = hierarchy_aware_sample(
+                keys, weights, 50, h, np.random.default_rng(t)
+            )
+            mask = np.zeros(n, bool)
+            mask[included] = True
+            deltas.append(
+                multirange_discrepancy(
+                    keys.reshape(-1, 1), probs, mask, query
+                )
+            )
+        assert np.mean(deltas) < np.sqrt(len(nodes)) + 1.0
+
+
+class TestAwareBeatsObliviousEndToEnd:
+    """Section 6 headline: aware halves the error on range workloads."""
+
+    def test_uniform_weight_queries_network(self, network_small):
+        rng = np.random.default_rng(3)
+        queries = uniform_weight_queries(network_small, 25, 5, 100, rng=rng)
+        truths = ground_truths(network_small, queries)
+        total = network_small.total_weight
+        aware_err, obliv_err = [], []
+        for t in range(6):
+            aware, _ = build_summary(
+                "aware", network_small, 300, np.random.default_rng(t)
+            )
+            obliv, _ = build_summary(
+                "obliv", network_small, 300, np.random.default_rng(t)
+            )
+            aware_err.append(
+                np.abs(np.asarray(aware.query_many(queries)) - truths).mean()
+                / total
+            )
+            obliv_err.append(
+                np.abs(np.asarray(obliv.query_many(queries)) - truths).mean()
+                / total
+            )
+        assert np.mean(aware_err) < np.mean(obliv_err)
+
+
+class TestTwoPassMatchesMainMemory:
+    """Section 5: the two-pass sampler matches the main-memory variant."""
+
+    def test_comparable_box_error(self, grid_dataset):
+        from repro.aware.product_sampler import product_aware_summary
+
+        box = Box((0, 0), (511, 511))
+        mask = box.contains(grid_dataset.coords)
+        truth = grid_dataset.weights[mask].sum()
+        two_pass_errors, main_memory_errors = [], []
+        for t in range(40):
+            tp = two_pass_summary(
+                grid_dataset, 60, np.random.default_rng(t)
+            )
+            mm = product_aware_summary(
+                grid_dataset, 60, np.random.default_rng(t + 10**6)
+            )
+            two_pass_errors.append(abs(tp.query(box) - truth))
+            main_memory_errors.append(abs(mm.query(box) - truth))
+        # Same order of magnitude (within 3x on the mean).
+        ratio = (np.mean(two_pass_errors) + 1e-9) / (
+            np.mean(main_memory_errors) + 1e-9
+        )
+        assert 1 / 4 < ratio < 4
+
+    def test_disjoint_partition_two_pass(self, rng):
+        from repro.core.types import Dataset
+
+        rng0 = np.random.default_rng(7)
+        n = 300
+        keys = rng0.choice(10_000, size=n, replace=False)
+        weights = 1.0 + rng0.pareto(1.2, size=n)
+        data = Dataset.one_dimensional(keys, weights, size=10_000)
+        labeler = lambda key: key[0] // 500  # 20 flat ranges
+        summary = two_pass_summary(
+            data, 30, rng, partition="disjoint", labeler=labeler
+        )
+        assert abs(summary.size - 30) <= 1
+
+    def test_disjoint_requires_labeler(self, rng):
+        from repro.twopass.two_pass import TwoPassSampler
+
+        with pytest.raises(ValueError):
+            TwoPassSampler(10, rng, partition="disjoint")
+
+
+class TestRepresentativeSamples:
+    """Section 1: samples provide representative keys; dedicated
+    summaries do not (their API has no such concept)."""
+
+    def test_representatives_come_from_data(self, network_small):
+        rng = np.random.default_rng(5)
+        summary = two_pass_summary(network_small, 200, rng)
+        box = network_small.domain.full_box()
+        reps = summary.representatives(box, k=10)
+        data_keys = set(map(tuple, network_small.coords))
+        for row in reps:
+            assert tuple(row) in data_keys

@@ -1,0 +1,111 @@
+"""Tests for the order-structure aware sampler (Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.aware.order_sampler import order_aware_sample, order_aware_summary
+from repro.core.discrepancy import (
+    max_interval_discrepancy,
+    max_prefix_discrepancy,
+)
+from repro.core.ipps import ipps_probabilities
+
+
+def make_input(seed, n=120, domain=10_000):
+    rng = np.random.default_rng(seed)
+    keys = rng.choice(domain, size=n, replace=False)
+    weights = 1.0 + rng.pareto(1.2, size=n)
+    return keys, weights
+
+
+class TestOrderAware:
+    def test_exact_sample_size(self):
+        keys, weights = make_input(0)
+        for s in (5, 17, 60):
+            included, tau, _ = order_aware_sample(
+                keys, weights, s, np.random.default_rng(1)
+            )
+            assert included.size == s
+
+    def test_prefix_discrepancy_below_one(self):
+        # Prefixes of the order are hierarchy ranges of the path
+        # hierarchy: the sampler guarantees Delta < 1 on them.
+        for seed in range(25):
+            keys, weights = make_input(seed)
+            included, tau, probs = order_aware_sample(
+                keys, weights, 20, np.random.default_rng(seed + 100)
+            )
+            mask = np.zeros(len(keys), bool)
+            mask[included] = True
+            delta = max_prefix_discrepancy(keys, probs, mask)
+            assert delta < 1.0 + 1e-9, f"seed {seed}: prefix delta {delta}"
+
+    def test_interval_discrepancy_below_two(self):
+        # Theorem 1(i): max interval discrepancy < 2.
+        for seed in range(25):
+            keys, weights = make_input(seed)
+            included, tau, probs = order_aware_sample(
+                keys, weights, 20, np.random.default_rng(seed + 200)
+            )
+            mask = np.zeros(len(keys), bool)
+            mask[included] = True
+            delta = max_interval_discrepancy(keys, probs, mask)
+            assert delta < 2.0 + 1e-9, f"seed {seed}: interval delta {delta}"
+
+    def test_oblivious_violates_interval_bound_sometimes(self):
+        # Sanity check that the Delta < 2 bound is non-trivial: a
+        # random-order VarOpt sample exceeds it on some seed.
+        from repro.core.varopt import varopt_sample
+
+        violated = False
+        for seed in range(40):
+            keys, weights = make_input(seed, n=300)
+            probs, tau = ipps_probabilities(weights, 30)
+            included, _ = varopt_sample(
+                weights, 30, np.random.default_rng(seed)
+            )
+            mask = np.zeros(len(keys), bool)
+            mask[included] = True
+            if max_interval_discrepancy(keys, probs, mask) >= 2.0:
+                violated = True
+                break
+        assert violated
+
+    def test_inclusion_probabilities_preserved(self):
+        keys = np.arange(8)
+        weights = np.array([5.0, 4.0, 3.0, 2.0, 1.0, 1.0, 1.0, 1.0])
+        s = 4
+        p, _ = ipps_probabilities(weights, s)
+        counts = np.zeros(8)
+        trials = 6000
+        for t in range(trials):
+            included, _, _ = order_aware_sample(
+                keys, weights, s, np.random.default_rng(t)
+            )
+            counts[included] += 1
+        np.testing.assert_allclose(counts / trials, p, atol=0.03)
+
+    def test_unsorted_input_handled(self):
+        keys, weights = make_input(3)
+        shuffled = np.random.default_rng(0).permutation(len(keys))
+        included, tau, probs = order_aware_sample(
+            keys[shuffled], weights[shuffled], 15, np.random.default_rng(1)
+        )
+        mask = np.zeros(len(keys), bool)
+        mask[included] = True
+        assert max_interval_discrepancy(
+            keys[shuffled], probs, mask
+        ) < 2.0 + 1e-9
+
+    def test_summary_interface(self, line_dataset, rng):
+        summary = order_aware_summary(line_dataset, 30, rng)
+        assert summary.size == 30
+        assert summary.dims == 1
+
+    def test_duplicate_keys_allowed(self):
+        keys = np.array([5, 5, 5, 9, 9, 2])
+        weights = np.ones(6)
+        included, tau, _ = order_aware_sample(
+            keys, weights, 3, np.random.default_rng(0)
+        )
+        assert included.size == 3

@@ -1,0 +1,120 @@
+"""Tests for the product-structure aware sampler (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.aware.product_sampler import (
+    product_aware_sample,
+    product_aware_summary,
+)
+from repro.core.discrepancy import box_discrepancy
+from repro.core.ipps import ipps_probabilities
+from repro.core.varopt import varopt_sample
+from repro.structures.ranges import Box
+
+
+def make_points(seed, n=400, size=1024):
+    rng = np.random.default_rng(seed)
+    coords = rng.integers(0, size, size=(n, 2))
+    weights = 1.0 + rng.pareto(1.2, size=n)
+    # Deduplicate to keep IPPS probabilities well defined per key.
+    _, first = np.unique(coords, axis=0, return_index=True)
+    return coords[first], weights[first]
+
+
+def random_boxes(seed, k=60, size=1024):
+    rng = np.random.default_rng(seed)
+    boxes = []
+    for _ in range(k):
+        x1, x2 = sorted(rng.integers(0, size, size=2).tolist())
+        y1, y2 = sorted(rng.integers(0, size, size=2).tolist())
+        boxes.append(Box((x1, y1), (x2, y2)))
+    return boxes
+
+
+class TestProductAware:
+    def test_exact_sample_size(self):
+        coords, weights = make_points(0)
+        for s in (10, 40, 100):
+            included, tau, _ = product_aware_sample(
+                coords, weights, s, np.random.default_rng(1)
+            )
+            assert included.size == s
+
+    def test_inclusion_probabilities_preserved(self):
+        coords = np.array(
+            [[0, 0], [0, 1], [1, 0], [1, 1], [2, 2], [3, 3], [2, 3], [3, 2]]
+        )
+        weights = np.array([5.0, 4.0, 3.0, 2.0, 1.0, 1.0, 1.0, 1.0])
+        p, _ = ipps_probabilities(weights, 4)
+        counts = np.zeros(8)
+        trials = 6000
+        for t in range(trials):
+            included, _, _ = product_aware_sample(
+                coords, weights, 4, np.random.default_rng(t)
+            )
+            counts[included] += 1
+        np.testing.assert_allclose(counts / trials, p, atol=0.03)
+
+    def test_mean_box_discrepancy_beats_oblivious(self):
+        # The Section 4 improvement: averaged over boxes and seeds, the
+        # kd-aware sample has smaller discrepancy than oblivious VarOpt.
+        coords, weights = make_points(5, n=600)
+        s = 60
+        boxes = random_boxes(7)
+        probs, tau = ipps_probabilities(weights, s)
+        aware_total = 0.0
+        obliv_total = 0.0
+        trials = 25
+        for t in range(trials):
+            included, _, _ = product_aware_sample(
+                coords, weights, s, np.random.default_rng(t)
+            )
+            mask = np.zeros(len(weights), bool)
+            mask[included] = True
+            aware_total += np.mean(
+                [box_discrepancy(coords, probs, mask, b) for b in boxes]
+            )
+            included_o, _ = varopt_sample(
+                weights, s, np.random.default_rng(t + 10_000)
+            )
+            mask_o = np.zeros(len(weights), bool)
+            mask_o[included_o] = True
+            obliv_total += np.mean(
+                [box_discrepancy(coords, probs, mask_o, b) for b in boxes]
+            )
+        assert aware_total < obliv_total
+
+    def test_unbiased_box_estimates(self):
+        coords, weights = make_points(2, n=200)
+        box = Box((0, 0), (511, 511))
+        mask = box.contains(coords)
+        truth = weights[mask].sum()
+        estimates = []
+        for t in range(2500):
+            included, tau, _ = product_aware_sample(
+                coords, weights, 30, np.random.default_rng(t)
+            )
+            adj = np.maximum(weights[included], tau)
+            in_box = box.contains(coords[included])
+            estimates.append(adj[in_box].sum())
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.06)
+
+    def test_summary_interface(self, grid_dataset, rng):
+        summary = product_aware_summary(grid_dataset, 50, rng)
+        assert summary.size == 50
+        assert summary.dims == 2
+
+    def test_split_rule_forwarded(self, grid_dataset, rng):
+        summary = product_aware_summary(
+            grid_dataset, 40, rng, split_rule="midpoint"
+        )
+        assert summary.size == 40
+
+    def test_all_keys_when_s_large(self):
+        coords, weights = make_points(3, n=50)
+        included, tau, _ = product_aware_sample(
+            coords, weights, 100, np.random.default_rng(0)
+        )
+        assert included.size == len(weights)
+        assert tau == 0.0

@@ -1,0 +1,120 @@
+"""Hypothesis property-based tests on core invariants.
+
+These complement the per-module statistical tests with randomized
+structural invariants: probability-mass conservation, sample-size
+exactness, estimator consistency, and summary-interface contracts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aware.hierarchy_sampler import hierarchy_aware_sample
+from repro.aware.order_sampler import order_aware_sample
+from repro.core.aggregation import aggregate_pool, finalize_leftover
+from repro.core.discrepancy import (
+    max_hierarchy_discrepancy,
+    max_interval_discrepancy,
+)
+from repro.core.ipps import ipps_probabilities
+from repro.core.varopt import StreamVarOpt, varopt_sample
+from repro.structures.hierarchy import BitHierarchy
+
+weights_strategy = st.lists(
+    st.floats(min_value=0.1, max_value=1000.0, allow_nan=False),
+    min_size=2,
+    max_size=60,
+)
+
+
+@given(weights_strategy, st.integers(1, 30), st.integers(0, 2**31))
+@settings(max_examples=80, deadline=None)
+def test_varopt_size_exact_for_any_input(weights, s, seed):
+    w = np.asarray(weights)
+    included, tau = varopt_sample(w, s, np.random.default_rng(seed))
+    assert included.size == min(s, np.count_nonzero(w > 0))
+
+
+@given(weights_strategy, st.integers(1, 20), st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_stream_varopt_size_and_threshold(weights, s, seed):
+    sampler = StreamVarOpt(s, np.random.default_rng(seed))
+    for i, w in enumerate(weights):
+        sampler.feed((i,), float(w))
+    assert sampler.current_size == min(s, len(weights))
+    summary = sampler.summary()
+    # Adjusted total within a loose range of the truth (sanity, not
+    # statistics: unbiasedness is tested elsewhere).
+    assert summary.estimate_total() >= 0.0
+
+
+@given(weights_strategy, st.integers(1, 25), st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_order_aware_interval_theorem_any_input(weights, s, seed):
+    w = np.asarray(weights)
+    keys = np.arange(w.size)
+    included, tau, probs = order_aware_sample(
+        keys, w, s, np.random.default_rng(seed)
+    )
+    mask = np.zeros(w.size, bool)
+    mask[included] = True
+    assert max_interval_discrepancy(keys, probs, mask) < 2.0 + 1e-6
+
+
+@given(weights_strategy, st.integers(1, 25), st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_hierarchy_aware_node_theorem_any_input(weights, s, seed):
+    w = np.asarray(weights)
+    h = BitHierarchy(8)
+    rng = np.random.default_rng(seed)
+    keys = rng.choice(256, size=w.size, replace=False)
+    included, tau, probs = hierarchy_aware_sample(
+        keys, w, s, h, np.random.default_rng(seed + 1)
+    )
+    mask = np.zeros(w.size, bool)
+    mask[included] = True
+    assert max_hierarchy_discrepancy(h, keys, probs, mask) < 1.0 + 1e-6
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=0.99), min_size=1,
+             max_size=50),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=100, deadline=None)
+def test_aggregate_pool_conserves_mass(probabilities, seed):
+    p = np.asarray(probabilities)
+    before = p.sum()
+    rng = np.random.default_rng(seed)
+    leftover = aggregate_pool(p, range(p.size), rng)
+    assert p.sum() == pytest.approx(before, abs=1e-6)
+    # All entries set except possibly the leftover.
+    for i in range(p.size):
+        if leftover is None or i != leftover:
+            assert p[i] in (0.0, 1.0) or p[i] < 1e-9 or p[i] > 1 - 1e-9
+
+
+@given(weights_strategy, st.integers(1, 20))
+@settings(max_examples=60, deadline=None)
+def test_ipps_probabilities_bounded_and_monotone(weights, s):
+    w = np.asarray(weights)
+    p, tau = ipps_probabilities(w, s)
+    assert ((p >= 0) & (p <= 1)).all()
+    # Monotone in the weights: heavier keys never get lower probability.
+    order = np.argsort(w)
+    assert (np.diff(p[order]) >= -1e-12).all()
+
+
+@given(weights_strategy, st.integers(1, 20), st.integers(0, 2**31))
+@settings(max_examples=40, deadline=None)
+def test_sample_summary_total_nonnegative_consistent(weights, s, seed):
+    from repro.core.types import Dataset
+    from repro.core.varopt import varopt_summary
+
+    w = np.asarray(weights)
+    data = Dataset.one_dimensional(np.arange(w.size), w, size=w.size + 1)
+    summary = varopt_summary(data, s, np.random.default_rng(seed))
+    full = data.domain.full_box()
+    # Query over the full domain equals the estimated total.
+    assert summary.query(full) == pytest.approx(summary.estimate_total())

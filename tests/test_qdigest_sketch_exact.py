@@ -1,0 +1,205 @@
+"""Tests for the q-digest, Count-Sketch, and exact summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Dataset
+from repro.structures.hierarchy import BitHierarchy
+from repro.structures.product import ProductDomain
+from repro.structures.ranges import Box, MultiRangeQuery, interval
+from repro.summaries.exact import ExactSummary
+from repro.summaries.qdigest import QDigestSummary
+from repro.summaries.sketch import CountSketch, DyadicSketchSummary
+
+
+def dataset_2d(seed=0, n=150, bits=8):
+    rng = np.random.default_rng(seed)
+    domain = ProductDomain([BitHierarchy(bits), BitHierarchy(bits)])
+    coords = rng.integers(0, 1 << bits, size=(n, 2))
+    weights = 1.0 + rng.pareto(1.1, size=n)
+    return Dataset(coords=coords, weights=weights, domain=domain).aggregate_duplicates()
+
+
+class TestQDigest:
+    def test_size_within_budget(self):
+        data = dataset_2d()
+        qd = QDigestSummary(data, 40)
+        assert qd.size <= 40
+
+    def test_total_weight_exact(self):
+        data = dataset_2d()
+        qd = QDigestSummary(data, 40)
+        assert qd.query(data.domain.full_box()) == pytest.approx(
+            data.total_weight
+        )
+
+    def test_budget_one_is_single_cell(self):
+        data = dataset_2d()
+        qd = QDigestSummary(data, 1)
+        assert qd.size == 1
+
+    def test_error_decreases_with_budget(self):
+        data = dataset_2d(seed=5, n=300)
+        exact = ExactSummary(data)
+        boxes = [Box((0, 0), (127, 127)), Box((64, 64), (255, 255))]
+        errors = []
+        for s in (4, 64, 100_000):
+            qd = QDigestSummary(data, s)
+            errors.append(
+                sum(abs(qd.query(b) - exact.query(b)) for b in boxes)
+            )
+        assert errors[2] <= errors[0] + 1e-9
+
+    def test_large_budget_exact_on_dyadic_boxes(self):
+        # With enough nodes every distinct point gets its own cell, so
+        # any box is answered exactly (up to single-point cells).
+        data = dataset_2d(seed=2, n=60)
+        qd = QDigestSummary(data, 100_000)
+        exact = ExactSummary(data)
+        box = Box((0, 0), (200, 100))
+        assert qd.query(box) == pytest.approx(exact.query(box), rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QDigestSummary(dataset_2d(), 0)
+
+    def test_deterministic(self):
+        data = dataset_2d(seed=7)
+        a = QDigestSummary(data, 30)
+        b = QDigestSummary(data, 30)
+        box = Box((10, 10), (99, 99))
+        assert a.query(box) == b.query(box)
+
+    def test_partial_mode_validation(self):
+        with pytest.raises(ValueError):
+            QDigestSummary(dataset_2d(), 10, partial="bogus")
+
+    def test_query_bounds_contain_truth(self):
+        data = dataset_2d(seed=9, n=200)
+        qd = QDigestSummary(data, 25)
+        exact = ExactSummary(data)
+        for box in [Box((0, 0), (100, 100)), Box((50, 20), (250, 200))]:
+            lower, upper = qd.query_bounds(box)
+            truth = exact.query(box)
+            assert lower - 1e-9 <= truth <= upper + 1e-9
+
+    def test_half_estimate_is_midpoint_of_bounds(self):
+        data = dataset_2d(seed=9, n=200)
+        qd = QDigestSummary(data, 25, partial="half")
+        box = Box((7, 3), (210, 180))
+        lower, upper = qd.query_bounds(box)
+        assert qd.query(box) == pytest.approx((lower + upper) / 2)
+
+    def test_lower_mode_matches_lower_bound(self):
+        data = dataset_2d(seed=9, n=200)
+        qd = QDigestSummary(data, 25, partial="lower")
+        box = Box((7, 3), (210, 180))
+        assert qd.query(box) == pytest.approx(qd.query_bounds(box)[0])
+
+    def test_uniform_mode_between_bounds(self):
+        data = dataset_2d(seed=9, n=200)
+        qd = QDigestSummary(data, 25, partial="uniform")
+        box = Box((7, 3), (210, 180))
+        lower, upper = qd.query_bounds(box)
+        assert lower - 1e-9 <= qd.query(box) <= upper + 1e-9
+
+
+class TestCountSketch:
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            CountSketch(0, 3, rng)
+        with pytest.raises(ValueError):
+            CountSketch(10, 0, rng)
+
+    def test_exactish_for_few_keys_wide_sketch(self):
+        rng = np.random.default_rng(1)
+        sk = CountSketch(width=4096, depth=5, rng=rng)
+        keys = np.arange(10, dtype=np.uint64)
+        values = np.arange(1.0, 11.0)
+        sk.update_many(keys, values)
+        est = sk.estimate_many(keys)
+        np.testing.assert_allclose(est, values, atol=1e-9)
+
+    def test_heavy_hitter_recovered_in_noise(self):
+        rng = np.random.default_rng(2)
+        sk = CountSketch(width=512, depth=5, rng=rng)
+        keys = rng.integers(0, 2**40, size=5000).astype(np.uint64)
+        values = np.ones(5000)
+        sk.update_many(keys, values)
+        sk.update_many(np.array([123456789], dtype=np.uint64), np.array([500.0]))
+        est = sk.estimate(123456789)
+        assert est == pytest.approx(501.0, abs=60)
+
+    def test_counters_property(self):
+        sk = CountSketch(16, 3, np.random.default_rng(0))
+        assert sk.counters == 48
+
+    def test_unbiased_single_key(self):
+        estimates = []
+        for t in range(300):
+            rng = np.random.default_rng(t)
+            sk = CountSketch(width=8, depth=1, rng=rng)
+            keys = np.arange(20, dtype=np.uint64)
+            sk.update_many(keys, np.ones(20))
+            estimates.append(sk.estimate(0))
+        assert np.mean(estimates) == pytest.approx(1.0, abs=0.5)
+
+
+class TestDyadicSketch:
+    def test_size_reflects_counters(self):
+        data = dataset_2d()
+        sk = DyadicSketchSummary(data, 50_000, rng=np.random.default_rng(0))
+        assert sk.size >= (8 + 1) * (8 + 1) * 3  # at least width 1 each
+
+    def test_accurate_when_budget_huge(self):
+        data = dataset_2d(seed=3, n=40, bits=5)
+        sk = DyadicSketchSummary(
+            data, 3_000_000, rng=np.random.default_rng(1)
+        )
+        exact = ExactSummary(data)
+        for box in [Box((0, 0), (31, 31)), Box((3, 7), (20, 25))]:
+            assert sk.query(box) == pytest.approx(exact.query(box), rel=0.05, abs=2.0)
+
+    def test_1d_supported(self):
+        data = Dataset.one_dimensional([1, 5, 9], [1.0, 2.0, 3.0], size=16)
+        sk = DyadicSketchSummary(data, 5000, rng=np.random.default_rng(0))
+        assert sk.query(interval(0, 15)) == pytest.approx(6.0, abs=1.0)
+
+    def test_validation(self):
+        data = dataset_2d()
+        with pytest.raises(ValueError):
+            DyadicSketchSummary(data, 0)
+
+    def test_rejects_3d(self):
+        domain = ProductDomain([BitHierarchy(2)] * 3)
+        data = Dataset(
+            coords=np.array([[0, 0, 0]]),
+            weights=np.array([1.0]),
+            domain=domain,
+        )
+        with pytest.raises(ValueError):
+            DyadicSketchSummary(data, 10)
+
+
+class TestExact:
+    def test_query_matches_scan(self):
+        data = dataset_2d(seed=4)
+        exact = ExactSummary(data)
+        box = Box((0, 0), (100, 200))
+        mask = box.contains(data.coords)
+        assert exact.query(box) == pytest.approx(data.weights[mask].sum())
+
+    def test_query_multi_single_scan(self):
+        data = dataset_2d(seed=4)
+        exact = ExactSummary(data)
+        q = MultiRangeQuery(
+            [Box((0, 0), (50, 50)), Box((100, 100), (150, 150))]
+        )
+        assert exact.query_multi(q) == pytest.approx(
+            exact.query(q.boxes[0]) + exact.query(q.boxes[1])
+        )
+
+    def test_size_is_data_size(self):
+        data = dataset_2d(seed=4)
+        assert ExactSummary(data).size == data.n

@@ -1,0 +1,102 @@
+"""Tests for the classic streaming 1-D q-digest."""
+
+import numpy as np
+import pytest
+
+from repro.structures.ranges import interval
+from repro.summaries.qdigest_stream import StreamingQDigest
+
+
+def build(keys, weights, bits=10, k=32, compress_every=64):
+    qd = StreamingQDigest(bits=bits, k=k, compress_every=compress_every)
+    qd.insert_many(keys, weights)
+    qd.compress()
+    return qd
+
+
+class TestValidation:
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            StreamingQDigest(0, 10)
+        with pytest.raises(ValueError):
+            StreamingQDigest(63, 10)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            StreamingQDigest(8, 0)
+
+    def test_key_out_of_domain(self):
+        qd = StreamingQDigest(4, 8)
+        with pytest.raises(ValueError):
+            qd.insert(16)
+
+    def test_negative_weight(self):
+        qd = StreamingQDigest(4, 8)
+        with pytest.raises(ValueError):
+            qd.insert(3, -1.0)
+
+    def test_zero_weight_noop(self):
+        qd = StreamingQDigest(4, 8)
+        qd.insert(3, 0.0)
+        assert qd.total == 0.0 and qd.size == 0
+
+
+class TestAccuracy:
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 1024, size=2000)
+        weights = 1.0 + rng.pareto(1.2, size=2000)
+        qd = build(keys, weights)
+        assert qd.total == pytest.approx(weights.sum())
+        assert qd.range_sum(0, 1023) == pytest.approx(weights.sum())
+
+    def test_compression_bounds_size(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 1024, size=5000)
+        qd = build(keys, np.ones(5000), bits=10, k=16)
+        # O(k log domain): generous constant.
+        assert qd.size <= 3 * 16 * 11
+
+    def test_range_error_within_guarantee(self):
+        rng = np.random.default_rng(2)
+        n = 4000
+        keys = rng.integers(0, 1024, size=n)
+        weights = np.ones(n)
+        qd = build(keys, weights, bits=10, k=64)
+        for lo, hi in [(0, 511), (100, 900), (37, 38), (512, 1023)]:
+            truth = weights[(keys >= lo) & (keys <= hi)].sum()
+            est = qd.range_sum(lo, hi)
+            # Two endpoints, each off by at most the error bound.
+            assert abs(est - truth) <= 2 * qd.error_bound()
+
+    def test_exact_when_k_huge(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 256, size=300)
+        weights = 1.0 + rng.random(300)
+        qd = build(keys, weights, bits=8, k=10**9)
+        truth = weights[(keys >= 30) & (keys <= 200)].sum()
+        assert qd.range_sum(30, 200) == pytest.approx(truth)
+
+    def test_box_interface(self):
+        qd = build([1, 5, 9], [1.0, 2.0, 3.0], bits=4, k=10**9)
+        assert qd.query(interval(0, 15)) == pytest.approx(6.0)
+
+    def test_quantiles_monotone_and_bounded(self):
+        rng = np.random.default_rng(4)
+        keys = np.sort(rng.integers(0, 1024, size=3000))
+        qd = build(keys, np.ones(3000), bits=10, k=64)
+        qs = [qd.quantile(phi) for phi in (0.1, 0.25, 0.5, 0.75, 0.9)]
+        assert qs == sorted(qs)
+        # The median estimate should be near the true median rank.
+        true_median = int(np.median(keys))
+        assert abs(qs[2] - true_median) < 256
+
+    def test_quantile_validation(self):
+        qd = StreamingQDigest(4, 8)
+        with pytest.raises(ValueError):
+            qd.quantile(1.5)
+
+    def test_range_sum_validation(self):
+        qd = StreamingQDigest(4, 8)
+        with pytest.raises(ValueError):
+            qd.range_sum(5, 4)

@@ -1,0 +1,217 @@
+"""Tests for hierarchy structures (bit and explicit radix hierarchies)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.hierarchy import (
+    BitHierarchy,
+    ExplicitHierarchy,
+    RadixHierarchy,
+    common_node_depth,
+    hierarchy_entropy,
+    induced_node_count,
+)
+
+
+class TestRadixHierarchy:
+    def test_rejects_empty_branchings(self):
+        with pytest.raises(ValueError):
+            RadixHierarchy([])
+
+    def test_rejects_unary_branching(self):
+        with pytest.raises(ValueError):
+            RadixHierarchy([2, 1, 2])
+
+    def test_num_leaves_is_product(self):
+        h = RadixHierarchy([3, 2, 4])
+        assert h.num_leaves == 24
+        assert h.size == 24
+
+    def test_depth(self):
+        assert RadixHierarchy([2, 2, 2]).depth == 3
+
+    def test_span_decreases_with_depth(self):
+        h = RadixHierarchy([3, 2, 4])
+        assert h.span(0) == 24
+        assert h.span(1) == 8
+        assert h.span(2) == 4
+        assert h.span(3) == 1
+
+    def test_node_of_root_is_zero(self):
+        h = RadixHierarchy([3, 2])
+        for key in range(6):
+            assert h.node_of(key, 0) == 0
+
+    def test_node_of_leaf_depth_is_key(self):
+        h = RadixHierarchy([3, 2])
+        for key in range(6):
+            assert h.node_of(key, h.depth) == key
+
+    def test_node_of_vectorized(self):
+        h = RadixHierarchy([4, 4])
+        keys = np.arange(16)
+        np.testing.assert_array_equal(h.node_of(keys, 1), keys // 4)
+
+    def test_node_interval_roundtrip(self):
+        h = RadixHierarchy([3, 2, 2])
+        for depth in range(h.depth + 1):
+            for node in range(h.num_leaves // h.span(depth)):
+                lo, hi = h.node_interval(depth, node)
+                assert hi - lo == h.span(depth)
+                for key in (lo, hi - 1):
+                    assert h.node_of(key, depth) == node
+
+    def test_path_digits(self):
+        h = RadixHierarchy([3, 2])
+        assert h.path(0) == (0, 0)
+        assert h.path(1) == (0, 1)
+        assert h.path(2) == (1, 0)
+        assert h.path(5) == (2, 1)
+
+    def test_leaf_of_path_inverse(self):
+        h = RadixHierarchy([3, 2, 4])
+        for key in range(h.num_leaves):
+            assert h.leaf_of_path(h.path(key)) == key
+
+    def test_leaf_of_path_rejects_partial(self):
+        h = RadixHierarchy([3, 2])
+        with pytest.raises(ValueError):
+            h.leaf_of_path((1,))
+
+    def test_leaf_of_path_rejects_bad_digit(self):
+        h = RadixHierarchy([3, 2])
+        with pytest.raises(ValueError):
+            h.leaf_of_path((3, 0))
+
+    def test_lca_depth_same_key(self):
+        h = RadixHierarchy([2, 2, 2])
+        assert h.lca_depth(5, 5) == h.depth
+
+    def test_lca_depth_siblings(self):
+        h = RadixHierarchy([2, 2])
+        assert h.lca_depth(0, 1) == 1
+        assert h.lca_depth(0, 2) == 0
+
+    def test_lca_depth_out_of_domain(self):
+        h = RadixHierarchy([2, 2])
+        with pytest.raises(ValueError):
+            h.lca_depth(0, 99)
+
+    def test_ancestors_deepest_first(self):
+        h = RadixHierarchy([2, 2, 2])
+        ancestors = list(h.ancestors(5))
+        depths = [d for d, _ in ancestors]
+        assert depths == [2, 1, 0]
+        assert ancestors[-1] == (0, 0)
+
+    def test_equality_and_hash(self):
+        assert RadixHierarchy([2, 3]) == RadixHierarchy([2, 3])
+        assert RadixHierarchy([2, 3]) != RadixHierarchy([3, 2])
+        assert hash(RadixHierarchy([2, 3])) == hash(RadixHierarchy([2, 3]))
+
+
+class TestBitHierarchy:
+    def test_is_binary_radix(self):
+        h = BitHierarchy(4)
+        assert h.branchings == (2, 2, 2, 2)
+        assert h.num_leaves == 16
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            BitHierarchy(0)
+
+    def test_node_of_is_prefix(self):
+        h = BitHierarchy(8)
+        assert h.node_of(0b10110001, 4) == 0b1011
+
+    def test_node_of_array(self):
+        h = BitHierarchy(8)
+        keys = np.array([0b10110001, 0b10100000])
+        np.testing.assert_array_equal(h.node_of(keys, 3), [0b101, 0b101])
+
+    def test_span(self):
+        h = BitHierarchy(10)
+        assert h.span(0) == 1024
+        assert h.span(10) == 1
+
+    def test_lca_depth_matches_generic(self):
+        h = BitHierarchy(8)
+        generic = RadixHierarchy([2] * 8)
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            a, b = rng.integers(0, 256, size=2)
+            assert h.lca_depth(int(a), int(b)) == generic.lca_depth(
+                int(a), int(b)
+            )
+
+    def test_prefix_str(self):
+        h = BitHierarchy(8)
+        assert h.prefix_str(0, 0) == "*"
+        assert h.prefix_str(3, 0b101) == "101*"
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_lca_depth_property(self, a, b):
+        h = BitHierarchy(8)
+        depth = h.lca_depth(a, b)
+        assert h.node_of(a, depth) == h.node_of(b, depth)
+        if depth < h.depth:
+            assert h.node_of(a, depth + 1) != h.node_of(b, depth + 1)
+
+
+class TestExplicitHierarchy:
+    def test_with_approx_leaves_reaches_target(self):
+        h = ExplicitHierarchy.with_approx_leaves(1000)
+        assert h.num_leaves >= 1000
+        previous = h.num_leaves
+        for b in h.branchings:
+            previous //= b
+        assert previous == 1
+
+    def test_with_approx_leaves_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            ExplicitHierarchy.with_approx_leaves(1)
+
+    def test_varying_branchings_kept(self):
+        h = ExplicitHierarchy((16, 8, 4, 2))
+        assert h.branchings == (16, 8, 4, 2)
+        assert h.num_leaves == 1024
+        assert h.num_levels == 4
+
+
+class TestHelpers:
+    def test_common_node_depth_single_group(self):
+        h = BitHierarchy(6)
+        keys = np.array([8, 9, 10, 11])  # all under prefix 0b0010 (depth 4)
+        assert common_node_depth(h, keys) == 4
+
+    def test_common_node_depth_empty_raises(self):
+        h = BitHierarchy(4)
+        with pytest.raises(ValueError):
+            common_node_depth(h, np.array([], dtype=np.int64))
+
+    def test_induced_node_count_bounds(self):
+        h = BitHierarchy(10)
+        rng = np.random.default_rng(1)
+        keys = rng.choice(1024, size=40, replace=False)
+        count = induced_node_count(h, keys)
+        assert 1 <= count <= len(keys) - 1
+
+    def test_induced_node_count_single_key(self):
+        h = BitHierarchy(4)
+        assert induced_node_count(h, np.array([3])) == 0
+
+    def test_hierarchy_entropy_uniform_vs_clustered(self):
+        h = BitHierarchy(8)
+        uniform_keys = np.arange(256)
+        clustered_keys = np.arange(16)  # all under one depth-4 node
+        weights = np.ones(256)
+        top = hierarchy_entropy(h, uniform_keys, weights, depth=4)
+        low = hierarchy_entropy(h, clustered_keys, np.ones(16), depth=4)
+        assert top > low
+
+    def test_hierarchy_entropy_zero_weight(self):
+        h = BitHierarchy(4)
+        assert hierarchy_entropy(h, np.array([1]), np.array([0.0]), 2) == 0.0

@@ -1,0 +1,149 @@
+"""Tests for ordered domains, product domains and dyadic decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.dyadic import (
+    dyadic_cell_interval,
+    dyadic_decompose_box,
+    dyadic_decompose_interval,
+)
+from repro.structures.hierarchy import BitHierarchy
+from repro.structures.order import OrderedDomain
+from repro.structures.product import ProductDomain, line_domain
+from repro.structures.ranges import Box
+
+
+class TestOrderedDomain:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            OrderedDomain(0)
+
+    def test_contains(self):
+        d = OrderedDomain(10)
+        assert d.contains(0) and d.contains(9)
+        assert not d.contains(-1) and not d.contains(10)
+
+    def test_clip_interval(self):
+        d = OrderedDomain(10)
+        assert d.clip_interval(-5, 20) == (0, 9)
+        assert d.clip_interval(3, 4) == (3, 4)
+
+    def test_validate_keys(self):
+        d = OrderedDomain(10)
+        d.validate_keys(np.array([0, 9]))
+        with pytest.raises(ValueError):
+            d.validate_keys(np.array([0, 10]))
+
+    def test_equality(self):
+        assert OrderedDomain(5) == OrderedDomain(5)
+        assert OrderedDomain(5) != OrderedDomain(6)
+
+
+class TestProductDomain:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ProductDomain([])
+
+    def test_sizes_and_dims(self):
+        d = ProductDomain([OrderedDomain(8), BitHierarchy(3)])
+        assert d.dims == 2
+        assert d.sizes == (8, 8)
+
+    def test_is_hierarchical(self):
+        d = ProductDomain([OrderedDomain(8), BitHierarchy(3)])
+        assert not d.is_hierarchical(0)
+        assert d.is_hierarchical(1)
+
+    def test_hierarchy_accessor(self):
+        h = BitHierarchy(3)
+        d = ProductDomain([OrderedDomain(8), h])
+        assert d.hierarchy(1) is h
+        with pytest.raises(TypeError):
+            d.hierarchy(0)
+
+    def test_validate_coords_shape(self):
+        d = ProductDomain([OrderedDomain(8), OrderedDomain(8)])
+        with pytest.raises(ValueError):
+            d.validate_coords(np.zeros((3, 3), dtype=int))
+
+    def test_validate_coords_range(self):
+        d = ProductDomain([OrderedDomain(8), OrderedDomain(4)])
+        d.validate_coords(np.array([[7, 3]]))
+        with pytest.raises(ValueError):
+            d.validate_coords(np.array([[7, 4]]))
+
+    def test_full_box(self):
+        d = ProductDomain([OrderedDomain(8), OrderedDomain(4)])
+        assert d.full_box() == Box((0, 0), (7, 3))
+
+    def test_line_domain(self):
+        d = line_domain(100)
+        assert d.dims == 1
+        assert d.sizes == (100,)
+
+
+class TestDyadic:
+    def test_cell_interval(self):
+        assert dyadic_cell_interval(4, 0, 0) == (0, 15)
+        assert dyadic_cell_interval(4, 4, 5) == (5, 5)
+        assert dyadic_cell_interval(4, 2, 3) == (12, 15)
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            dyadic_decompose_interval(5, 4, 4)
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(ValueError):
+            dyadic_decompose_interval(0, 16, 4)
+
+    def test_full_domain_is_one_cell(self):
+        assert dyadic_decompose_interval(0, 15, 4) == [(0, 0)]
+
+    def test_single_point(self):
+        assert dyadic_decompose_interval(5, 5, 4) == [(4, 5)]
+
+    def test_cover_is_exact_and_disjoint(self):
+        bits = 6
+        for lo, hi in [(0, 62), (1, 62), (3, 40), (17, 18), (31, 32)]:
+            cells = dyadic_decompose_interval(lo, hi, bits)
+            covered = []
+            for depth, index in cells:
+                c_lo, c_hi = dyadic_cell_interval(bits, depth, index)
+                covered.extend(range(c_lo, c_hi + 1))
+            assert covered == list(range(lo, hi + 1))
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=100, deadline=None)
+    def test_cover_property(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        cells = dyadic_decompose_interval(lo, hi, 6)
+        total = sum(
+            dyadic_cell_interval(6, d, i)[1] - dyadic_cell_interval(6, d, i)[0] + 1
+            for d, i in cells
+        )
+        assert total == hi - lo + 1
+        assert len(cells) <= 2 * 6
+
+    def test_alignment_of_cells(self):
+        cells = dyadic_decompose_interval(3, 40, 6)
+        for depth, index in cells:
+            lo, _hi = dyadic_cell_interval(6, depth, index)
+            assert lo % (1 << (6 - depth)) == 0
+
+    def test_box_decomposition_product(self):
+        box = Box((1, 2), (6, 5))
+        rects = dyadic_decompose_box(box, (3, 3))
+        x_cells = dyadic_decompose_interval(1, 6, 3)
+        y_cells = dyadic_decompose_interval(2, 5, 3)
+        assert len(rects) == len(x_cells) * len(y_cells)
+        volume = 0
+        for rect in rects:
+            vol = 1
+            for axis, (depth, index) in enumerate(rect):
+                lo, hi = dyadic_cell_interval(3, depth, index)
+                vol *= hi - lo + 1
+            volume += vol
+        assert volume == box.volume

@@ -1,0 +1,151 @@
+"""Tests for Box / MultiRangeQuery geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.hierarchy import BitHierarchy
+from repro.structures.ranges import (
+    Box,
+    MultiRangeQuery,
+    hierarchy_node_box,
+    interval,
+    product_box,
+)
+
+
+def boxes_2d(max_coord=63):
+    """Hypothesis strategy for small 2-D boxes."""
+    def make(x1, x2, y1, y2):
+        return Box((min(x1, x2), min(y1, y2)), (max(x1, x2), max(y1, y2)))
+
+    coord = st.integers(0, max_coord)
+    return st.builds(make, coord, coord, coord, coord)
+
+
+class TestBox:
+    def test_rejects_mismatched_dims(self):
+        with pytest.raises(ValueError):
+            Box((0,), (1, 2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Box((5,), (4,))
+
+    def test_volume(self):
+        assert Box((0, 0), (3, 1)).volume == 8
+        assert Box((7,), (7,)).volume == 1
+
+    def test_contains_point(self):
+        box = Box((2, 2), (5, 8))
+        assert box.contains_point((2, 8))
+        assert not box.contains_point((1, 5))
+        assert not box.contains_point((2, 9))
+
+    def test_contains_vectorized_matches_scalar(self):
+        box = Box((2, 2), (5, 8))
+        coords = np.array([[2, 8], [1, 5], [5, 2], [6, 6]])
+        mask = box.contains(coords)
+        expected = [box.contains_point(tuple(row)) for row in coords]
+        assert mask.tolist() == expected
+
+    def test_contains_1d_flat_array(self):
+        box = interval(3, 7)
+        mask = box.contains(np.array([1, 3, 7, 9]))
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_intersects_symmetric(self):
+        a = Box((0, 0), (4, 4))
+        b = Box((4, 4), (8, 8))
+        c = Box((5, 5), (8, 8))
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(c) and not c.intersects(a)
+
+    def test_intersection(self):
+        a = Box((0, 0), (4, 4))
+        b = Box((2, 3), (9, 9))
+        inter = a.intersection(b)
+        assert inter == Box((2, 3), (4, 4))
+        assert a.intersection(Box((5, 5), (6, 6))) is None
+
+    def test_contains_box(self):
+        outer = Box((0, 0), (9, 9))
+        assert outer.contains_box(Box((1, 2), (3, 4)))
+        assert not outer.contains_box(Box((5, 5), (10, 10)))
+
+    def test_overlap_fraction(self):
+        cell = Box((0, 0), (3, 3))  # volume 16
+        query = Box((2, 2), (9, 9))
+        assert cell.overlap_fraction(query) == pytest.approx(4 / 16)
+        assert cell.overlap_fraction(Box((8, 8), (9, 9))) == 0.0
+        assert cell.overlap_fraction(Box((0, 0), (3, 3))) == 1.0
+
+    def test_split(self):
+        box = Box((0, 0), (7, 7))
+        left, right = box.split(0, 3)
+        assert left == Box((0, 0), (3, 7))
+        assert right == Box((4, 0), (7, 7))
+        assert left.volume + right.volume == box.volume
+
+    def test_split_rejects_boundary(self):
+        box = Box((0,), (7,))
+        with pytest.raises(ValueError):
+            box.split(0, 7)
+
+    @given(boxes_2d(), boxes_2d())
+    @settings(max_examples=80, deadline=None)
+    def test_intersection_consistent_with_intersects(self, a, b):
+        inter = a.intersection(b)
+        assert (inter is not None) == a.intersects(b)
+        if inter is not None:
+            assert a.contains_box(inter) and b.contains_box(inter)
+
+    @given(boxes_2d())
+    @settings(max_examples=40, deadline=None)
+    def test_self_intersection_identity(self, box):
+        assert box.intersection(box) == box
+        assert box.overlap_fraction(box) == pytest.approx(1.0)
+
+
+class TestMultiRangeQuery:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MultiRangeQuery([])
+
+    def test_rejects_mixed_dims(self):
+        with pytest.raises(ValueError):
+            MultiRangeQuery([interval(0, 1), Box((0, 0), (1, 1))])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            MultiRangeQuery([interval(0, 5), interval(5, 9)])
+
+    def test_disjoint_ok(self):
+        q = MultiRangeQuery([interval(0, 4), interval(5, 9)])
+        assert q.num_ranges == 2
+        assert q.dims == 1
+        assert len(q) == 2
+
+    def test_contains_union(self):
+        q = MultiRangeQuery([interval(0, 2), interval(8, 9)])
+        mask = q.contains(np.array([0, 3, 8, 10]))
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_iteration(self):
+        boxes = [interval(0, 1), interval(3, 4)]
+        q = MultiRangeQuery(boxes)
+        assert list(q) == boxes
+
+
+class TestConstructors:
+    def test_interval(self):
+        assert interval(2, 5) == Box((2,), (5,))
+
+    def test_product_box(self):
+        assert product_box((0, 3), (5, 9)) == Box((0, 5), (3, 9))
+
+    def test_hierarchy_node_box(self):
+        h = BitHierarchy(4)
+        box = hierarchy_node_box(h, 2, 0b10)
+        assert box == Box((8,), (11,))

@@ -1,0 +1,110 @@
+"""Tests for the bursty time-series generator and its use with the
+order-structure sampler."""
+
+import numpy as np
+import pytest
+
+from repro.aware.order_sampler import order_aware_sample
+from repro.core.discrepancy import max_interval_discrepancy
+from repro.core.varopt import varopt_sample
+from repro.datagen.timeseries import (
+    TimeSeriesConfig,
+    burstiness,
+    generate_bursty_series,
+)
+from repro.structures.ranges import interval
+from repro.summaries.exact import ExactSummary
+
+
+class TestGenerator:
+    def test_shape(self):
+        data = generate_bursty_series(
+            TimeSeriesConfig(horizon=10_000, n_background=500,
+                             n_bursts=3, burst_events=100),
+            seed=1,
+        )
+        assert data.dims == 1
+        assert data.n > 400
+        assert data.keys_1d().max() < 10_000
+
+    def test_deterministic(self):
+        config = TimeSeriesConfig(horizon=10_000, n_background=300,
+                                  n_bursts=2, burst_events=50)
+        a = generate_bursty_series(config, seed=5)
+        b = generate_bursty_series(config, seed=5)
+        np.testing.assert_array_equal(a.coords, b.coords)
+
+    def test_bursty_beats_uniform_on_burstiness(self):
+        bursty = generate_bursty_series(
+            TimeSeriesConfig(horizon=100_000, n_background=1000,
+                             n_bursts=8, burst_events=300),
+            seed=2,
+        )
+        uniform = generate_bursty_series(
+            TimeSeriesConfig(horizon=100_000, n_background=3000,
+                             n_bursts=0, burst_events=0),
+            seed=2,
+        )
+        assert burstiness(bursty) > 2 * burstiness(uniform)
+
+    def test_burstiness_zero_weight(self):
+        from repro.core.types import Dataset
+
+        data = Dataset.one_dimensional([1, 2], [0.0, 0.0], size=10)
+        assert burstiness(data) == 0.0
+
+
+class TestOrderSamplingOnBursts:
+    def test_interval_theorem_holds_on_bursty_data(self):
+        data = generate_bursty_series(
+            TimeSeriesConfig(horizon=1 << 18, n_background=2000,
+                             n_bursts=6, burst_events=200),
+            seed=3,
+        )
+        keys = data.keys_1d()
+        for t in range(10):
+            included, tau, probs = order_aware_sample(
+                keys, data.weights, 100, np.random.default_rng(t)
+            )
+            mask = np.zeros(data.n, bool)
+            mask[included] = True
+            assert max_interval_discrepancy(keys, probs, mask) < 2 + 1e-9
+
+    def test_aware_beats_oblivious_on_burst_windows(self):
+        data = generate_bursty_series(
+            TimeSeriesConfig(horizon=1 << 18, n_background=3000,
+                             n_bursts=8, burst_events=300),
+            seed=4,
+        )
+        keys = data.keys_1d()
+        exact = ExactSummary(data)
+        # Query windows centered on the heavy regions (quartiles).
+        qs = [
+            interval(i * (1 << 16), (i + 1) * (1 << 16) - 1)
+            for i in range(4)
+        ]
+        truths = np.array([exact.query(q) for q in qs])
+        s = 150
+        aware_err, obliv_err = [], []
+        for t in range(15):
+            inc_a, tau, _ = order_aware_sample(
+                keys, data.weights, s, np.random.default_rng(t)
+            )
+            adj = np.maximum(data.weights[inc_a], tau)
+            k_a = keys[inc_a]
+            est_a = np.array([
+                adj[(k_a >= q.lows[0]) & (k_a <= q.highs[0])].sum()
+                for q in qs
+            ])
+            aware_err.append(np.abs(est_a - truths).mean())
+            inc_o, tau_o = varopt_sample(
+                data.weights, s, np.random.default_rng(t + 10**6)
+            )
+            adj_o = np.maximum(data.weights[inc_o], tau_o)
+            k_o = keys[inc_o]
+            est_o = np.array([
+                adj_o[(k_o >= q.lows[0]) & (k_o <= q.highs[0])].sum()
+                for q in qs
+            ])
+            obliv_err.append(np.abs(est_o - truths).mean())
+        assert np.mean(aware_err) < np.mean(obliv_err)

@@ -1,0 +1,97 @@
+"""Tests for the Dataset data model."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Dataset
+from repro.structures.hierarchy import BitHierarchy
+from repro.structures.product import ProductDomain, line_domain
+
+
+class TestConstruction:
+    def test_one_dimensional(self):
+        data = Dataset.one_dimensional([3, 1, 2], [1.0, 2.0, 3.0], size=10)
+        assert data.n == 3
+        assert data.dims == 1
+        np.testing.assert_array_equal(data.keys_1d(), [3, 1, 2])
+
+    def test_from_items_scalar_keys(self):
+        data = Dataset.from_items([(1, 2.0), (5, 3.0)], line_domain(10))
+        assert data.n == 2
+        assert data.total_weight == pytest.approx(5.0)
+
+    def test_from_items_tuple_keys(self):
+        domain = ProductDomain([BitHierarchy(4), BitHierarchy(4)])
+        data = Dataset.from_items([((1, 2), 1.0), ((3, 4), 2.0)], domain)
+        assert data.dims == 2
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            Dataset.one_dimensional([1], [-1.0], size=10)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Dataset(
+                coords=np.array([[1], [2]]),
+                weights=np.array([1.0]),
+                domain=line_domain(10),
+            )
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(ValueError):
+            Dataset.one_dimensional([10], [1.0], size=10)
+
+
+class TestAccessors:
+    def test_axis(self):
+        domain = ProductDomain([BitHierarchy(4), BitHierarchy(4)])
+        data = Dataset(
+            coords=np.array([[1, 2], [3, 4]]),
+            weights=np.array([1.0, 1.0]),
+            domain=domain,
+        )
+        np.testing.assert_array_equal(data.axis(1), [2, 4])
+
+    def test_keys_1d_requires_one_dim(self):
+        domain = ProductDomain([BitHierarchy(4), BitHierarchy(4)])
+        data = Dataset(
+            coords=np.array([[1, 2]]),
+            weights=np.array([1.0]),
+            domain=domain,
+        )
+        with pytest.raises(ValueError):
+            data.keys_1d()
+
+    def test_iter_items(self):
+        data = Dataset.one_dimensional([3, 1], [1.5, 2.5], size=10)
+        items = list(data.iter_items())
+        assert items == [((3,), 1.5), ((1,), 2.5)]
+
+    def test_len(self):
+        data = Dataset.one_dimensional([3, 1], [1.0, 1.0], size=10)
+        assert len(data) == 2
+
+
+class TestTransforms:
+    def test_subset_by_mask(self):
+        data = Dataset.one_dimensional([1, 2, 3], [1.0, 2.0, 3.0], size=10)
+        sub = data.subset(np.array([True, False, True]))
+        assert sub.n == 2
+        assert sub.total_weight == pytest.approx(4.0)
+
+    def test_subset_by_indices(self):
+        data = Dataset.one_dimensional([1, 2, 3], [1.0, 2.0, 3.0], size=10)
+        sub = data.subset(np.array([2]))
+        assert sub.keys_1d().tolist() == [3]
+
+    def test_aggregate_duplicates(self):
+        data = Dataset.one_dimensional([1, 1, 2], [1.0, 2.0, 3.0], size=10)
+        merged = data.aggregate_duplicates()
+        assert merged.n == 2
+        by_key = dict(zip(merged.keys_1d().tolist(), merged.weights))
+        assert by_key[1] == pytest.approx(3.0)
+        assert by_key[2] == pytest.approx(3.0)
+
+    def test_aggregate_duplicates_empty(self):
+        data = Dataset.one_dimensional([], [], size=10)
+        assert data.aggregate_duplicates().n == 0

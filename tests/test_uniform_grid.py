@@ -1,0 +1,70 @@
+"""Tests for the uniform hypercube sampler (Section 4, uniform case)."""
+
+import numpy as np
+import pytest
+
+from repro.aware.uniform_grid import boundary_cell_count, uniform_grid_sample
+from repro.core.bounds import product_structure_discrepancy
+from repro.structures.ranges import Box
+
+
+class TestUniformGridSample:
+    def test_sample_size_is_perfect_power(self):
+        rng = np.random.default_rng(0)
+        points = uniform_grid_sample((1024, 1024), 100, rng)
+        assert points.shape == (100, 2)  # 10^2
+
+    def test_rounds_down_to_power(self):
+        rng = np.random.default_rng(0)
+        points = uniform_grid_sample((1024, 1024), 120, rng)
+        assert points.shape == (100, 2)  # h=10 still
+
+    def test_one_point_per_cell(self):
+        rng = np.random.default_rng(1)
+        h = 8
+        size = 64
+        points = uniform_grid_sample((size, size), h * h, rng)
+        cell_w = size // h
+        cells = {(int(x) // cell_w, int(y) // cell_w) for x, y in points}
+        assert len(cells) == h * h
+
+    def test_points_inside_domain(self):
+        rng = np.random.default_rng(2)
+        points = uniform_grid_sample((100, 50), 25, rng)
+        assert points[:, 0].max() < 100
+        assert points[:, 1].max() < 50
+        assert points.min() >= 0
+
+    def test_one_dimensional(self):
+        rng = np.random.default_rng(3)
+        points = uniform_grid_sample((1000,), 10, rng)
+        assert points.shape == (10, 1)
+
+    def test_validation(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            uniform_grid_sample((), 4, rng)
+        with pytest.raises(ValueError):
+            uniform_grid_sample((10, 10), 0, rng)
+        with pytest.raises(ValueError):
+            uniform_grid_sample((2, 2), 100, rng)  # domain too small
+
+    def test_box_count_discrepancy_within_boundary_bound(self):
+        # |#points in R - s * vol(R)/vol| <= #boundary cells: the only
+        # random contribution comes from cells cut by R's boundary.
+        rng = np.random.default_rng(5)
+        size = 256
+        s = 16 * 16
+        points = uniform_grid_sample((size, size), s, rng)
+        box = Box((10, 30), (200, 170))
+        expected = s * box.volume / (size * size)
+        actual = int(box.contains(points).sum())
+        boundary = boundary_cell_count((size, size), s, box)
+        assert abs(actual - expected) <= boundary + 1e-9
+
+    def test_boundary_cells_obey_section4_bound(self):
+        size = 256
+        s = 16 * 16
+        box = Box((10, 30), (200, 170))
+        boundary = boundary_cell_count((size, size), s, box)
+        assert boundary <= product_structure_discrepancy(s, 2)

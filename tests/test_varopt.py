@@ -1,0 +1,173 @@
+"""Tests for offline and streaming VarOpt sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.ipps import ipps_probabilities, ipps_threshold
+from repro.core.types import Dataset
+from repro.core.varopt import (
+    StreamVarOpt,
+    stream_varopt_summary,
+    varopt_sample,
+    varopt_summary,
+)
+
+
+class TestOfflineVarOpt:
+    def test_exact_sample_size(self, small_weights, rng):
+        for s in (5, 20, 80):
+            included, tau = varopt_sample(small_weights, s, rng)
+            assert included.size == s
+
+    def test_includes_all_heavy_keys(self, rng):
+        w = np.array([100.0, 100.0, 1.0, 1.0, 1.0, 1.0])
+        included, tau = varopt_sample(w, 3, rng)
+        assert {0, 1} <= set(included.tolist())
+
+    def test_small_s_on_tiny_input(self, rng):
+        included, tau = varopt_sample(np.array([3.0, 1.0]), 1, rng)
+        assert included.size == 1
+
+    def test_s_covers_everything(self, rng):
+        w = np.array([1.0, 2.0, 0.0, 3.0])
+        included, tau = varopt_sample(w, 5, rng)
+        assert set(included.tolist()) == {0, 1, 3}
+        assert tau == 0.0
+
+    def test_inclusion_probabilities_match_ipps(self, rng):
+        w = np.array([5.0, 4.0, 3.0, 2.0, 1.0, 1.0, 1.0, 1.0])
+        s = 4
+        p, _tau = ipps_probabilities(w, s)
+        counts = np.zeros_like(w)
+        trials = 6000
+        for t in range(trials):
+            included, _ = varopt_sample(w, s, np.random.default_rng(t))
+            counts[included] += 1
+        np.testing.assert_allclose(counts / trials, p, atol=0.03)
+
+    def test_unbiased_subset_sums(self, rng):
+        w = 1.0 + np.random.default_rng(5).pareto(1.3, size=60)
+        s = 15
+        subset = np.arange(0, 60, 3)
+        truth = w[subset].sum()
+        estimates = []
+        for t in range(3000):
+            r = np.random.default_rng(t)
+            included, tau = varopt_sample(w, s, r)
+            adj = np.maximum(w[included], tau)
+            mask = np.isin(included, subset)
+            estimates.append(adj[mask].sum())
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+    def test_summary_roundtrip(self, line_dataset, rng):
+        summary = varopt_summary(line_dataset, 40, rng)
+        assert summary.size == 40
+        assert summary.estimate_total() == pytest.approx(
+            line_dataset.total_weight, rel=0.5
+        )
+
+
+class TestStreamVarOpt:
+    def test_rejects_bad_size(self, rng):
+        with pytest.raises(ValueError):
+            StreamVarOpt(0, rng)
+
+    def test_rejects_negative_weight(self, rng):
+        sampler = StreamVarOpt(2, rng)
+        with pytest.raises(ValueError):
+            sampler.feed((1,), -1.0)
+
+    def test_keeps_everything_below_capacity(self, rng):
+        sampler = StreamVarOpt(10, rng)
+        for i in range(7):
+            sampler.feed((i,), float(i + 1))
+        assert sampler.current_size == 7
+        assert sampler.tau == 0.0
+
+    def test_zero_weights_skipped(self, rng):
+        sampler = StreamVarOpt(3, rng)
+        sampler.feed((0,), 0.0)
+        assert sampler.current_size == 0
+
+    def test_exact_size_after_overflow(self, rng):
+        sampler = StreamVarOpt(25, rng)
+        weights = 1.0 + np.random.default_rng(9).pareto(1.2, size=500)
+        for i, w in enumerate(weights):
+            sampler.feed((i,), float(w))
+        assert sampler.current_size == 25
+
+    def test_final_tau_matches_offline(self, rng):
+        weights = 1.0 + np.random.default_rng(11).pareto(1.2, size=400)
+        sampler = StreamVarOpt(30, rng)
+        for i, w in enumerate(weights):
+            sampler.feed((i,), float(w))
+        assert sampler.tau == pytest.approx(
+            ipps_threshold(weights, 30), rel=1e-9
+        )
+
+    def test_heavy_keys_always_kept(self, rng):
+        weights = np.ones(200)
+        weights[17] = 1000.0
+        weights[133] = 800.0
+        sampler = StreamVarOpt(10, rng)
+        for i, w in enumerate(weights):
+            sampler.feed((i,), float(w))
+        kept = {key[0] for key, _w in sampler.sample_items()}
+        assert {17, 133} <= kept
+
+    def test_inclusion_probabilities_match_ipps(self):
+        w = np.array([5.0, 4.0, 3.0, 2.0, 1.0, 1.0, 1.0, 1.0])
+        s = 4
+        p, _tau = ipps_probabilities(w, s)
+        counts = np.zeros_like(w)
+        trials = 6000
+        for t in range(trials):
+            sampler = StreamVarOpt(s, np.random.default_rng(t))
+            for i, weight in enumerate(w):
+                sampler.feed((i,), float(weight))
+            for key, _weight in sampler.sample_items():
+                counts[key[0]] += 1
+        np.testing.assert_allclose(counts / trials, p, atol=0.03)
+
+    def test_unbiased_total(self):
+        weights = 1.0 + np.random.default_rng(21).pareto(1.1, size=150)
+        truth = weights.sum()
+        estimates = []
+        for t in range(2000):
+            sampler = StreamVarOpt(20, np.random.default_rng(t))
+            for i, w in enumerate(weights):
+                sampler.feed((i,), float(w))
+            estimates.append(sampler.summary().estimate_total())
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+    def test_summary_shape(self, grid_dataset, rng):
+        summary = stream_varopt_summary(grid_dataset, 50, rng)
+        assert summary.size == 50
+        assert summary.coords.shape == (50, 2)
+
+    def test_adjusted_weights_valid(self, rng):
+        weights = 1.0 + np.random.default_rng(31).pareto(1.0, size=300)
+        sampler = StreamVarOpt(40, rng)
+        for i, w in enumerate(weights):
+            sampler.feed((i,), float(w))
+        summary = sampler.summary()
+        adj = summary.adjusted_weights
+        # Every adjusted weight is >= its original weight and >= tau ...
+        assert (adj >= summary.weights - 1e-9).all()
+        # ... and the light region's adjusted weight is exactly tau.
+        light = summary.weights < summary.tau
+        np.testing.assert_allclose(adj[light], summary.tau)
+
+    def test_empty_stream_summary(self, rng):
+        sampler = StreamVarOpt(5, rng)
+        summary = sampler.summary()
+        assert summary.size == 0
+        assert summary.estimate_total() == 0.0
+
+    def test_order_of_feed_does_not_break_size(self, rng):
+        weights = np.sort(1.0 + np.random.default_rng(3).pareto(1.2, 300))
+        for order in (weights, weights[::-1]):
+            sampler = StreamVarOpt(12, np.random.default_rng(0))
+            for i, w in enumerate(order):
+                sampler.feed((i,), float(w))
+            assert sampler.current_size == 12

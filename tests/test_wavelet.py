@@ -1,0 +1,112 @@
+"""Tests for the sparse Haar wavelet summary."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Dataset
+from repro.structures.hierarchy import BitHierarchy
+from repro.structures.product import ProductDomain
+from repro.summaries.wavelet import WaveletSummary
+from repro.structures.ranges import Box, interval
+
+
+def dataset_1d(seed=0, n=40, bits=8):
+    rng = np.random.default_rng(seed)
+    keys = rng.choice(1 << bits, size=n, replace=False)
+    weights = 1.0 + rng.pareto(1.0, size=n)
+    return Dataset.one_dimensional(keys, weights, size=1 << bits)
+
+
+def dataset_2d(seed=0, n=60, bits=6):
+    rng = np.random.default_rng(seed)
+    domain = ProductDomain([BitHierarchy(bits), BitHierarchy(bits)])
+    coords = rng.integers(0, 1 << bits, size=(n, 2))
+    weights = 1.0 + rng.pareto(1.0, size=n)
+    data = Dataset(coords=coords, weights=weights, domain=domain)
+    return data.aggregate_duplicates()
+
+
+class TestExactnessWithAllCoefficients:
+    def test_1d_point_reconstruction(self):
+        data = dataset_1d()
+        wav = WaveletSummary(data, s=10**9)  # keep everything
+        for key, weight in zip(data.coords[:, 0], data.weights):
+            assert wav.point_estimate((key,)) == pytest.approx(weight)
+
+    def test_1d_range_sums_exact(self):
+        data = dataset_1d()
+        wav = WaveletSummary(data, s=10**9)
+        keys = data.coords[:, 0]
+        for lo, hi in [(0, 255), (10, 100), (37, 37), (200, 255)]:
+            truth = data.weights[(keys >= lo) & (keys <= hi)].sum()
+            assert wav.query(interval(lo, hi)) == pytest.approx(truth)
+
+    def test_2d_point_reconstruction(self):
+        data = dataset_2d()
+        wav = WaveletSummary(data, s=10**9)
+        for row, weight in zip(data.coords, data.weights):
+            assert wav.point_estimate(tuple(row)) == pytest.approx(weight)
+
+    def test_2d_range_sums_exact(self):
+        data = dataset_2d()
+        wav = WaveletSummary(data, s=10**9)
+        for box in [
+            Box((0, 0), (63, 63)),
+            Box((5, 10), (40, 50)),
+            Box((32, 0), (63, 31)),
+        ]:
+            mask = box.contains(data.coords)
+            truth = data.weights[mask].sum()
+            assert wav.query(box) == pytest.approx(truth)
+
+
+class TestThresholding:
+    def test_size_respects_budget(self):
+        data = dataset_2d()
+        wav = WaveletSummary(data, s=25)
+        assert wav.size == 25
+        assert wav.coefficients_computed > 25
+
+    def test_total_mass_well_approximated(self):
+        # The full-domain query has maximal range impact, so the
+        # coefficients that matter for it are retained first.
+        data = dataset_2d(n=100)
+        wav = WaveletSummary(data, s=50)
+        full = data.domain.full_box()
+        assert wav.query(full) == pytest.approx(
+            data.total_weight, rel=0.25
+        )
+
+    def test_error_decreases_with_budget(self):
+        data = dataset_2d(seed=3, n=120)
+        box = Box((0, 0), (31, 31))
+        truth = data.weights[box.contains(data.coords)].sum()
+        errors = []
+        for s in (10, 100, 10**9):
+            wav = WaveletSummary(data, s)
+            errors.append(abs(wav.query(box) - truth))
+        assert errors[2] <= errors[0] + 1e-9
+        assert errors[2] < 1e-6
+
+    def test_validation(self):
+        data = dataset_1d()
+        with pytest.raises(ValueError):
+            WaveletSummary(data, 0)
+
+    def test_rejects_3d(self):
+        domain = ProductDomain([BitHierarchy(2)] * 3)
+        data = Dataset(
+            coords=np.array([[0, 0, 0]]),
+            weights=np.array([1.0]),
+            domain=domain,
+        )
+        with pytest.raises(ValueError):
+            WaveletSummary(data, 5)
+
+
+class TestNonPowerOfTwoDomain:
+    def test_padded_domain(self):
+        data = Dataset.one_dimensional([0, 5, 9], [1.0, 2.0, 3.0], size=10)
+        wav = WaveletSummary(data, s=10**9)
+        assert wav.query(interval(0, 9)) == pytest.approx(6.0)
+        assert wav.query(interval(5, 9)) == pytest.approx(5.0)

@@ -1,0 +1,139 @@
+"""Deeper properties of the Haar wavelet summary.
+
+Linearity of the transform, orthonormality of the basis (Parseval),
+and additivity of range queries -- on small dense domains where we can
+afford exhaustive checks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import Dataset
+from repro.structures.hierarchy import BitHierarchy
+from repro.structures.product import ProductDomain, line_domain
+from repro.structures.ranges import Box, interval
+from repro.summaries.wavelet import (
+    SCALING_LEVEL,
+    WaveletSummary,
+    _axis_levels_and_values,
+    _basis_interval_sums,
+)
+
+
+def dense_1d(values):
+    """A 1-D dataset with one key per domain slot."""
+    values = np.asarray(values, dtype=float)
+    return Dataset.one_dimensional(
+        np.arange(values.size), values, size=values.size
+    )
+
+
+class TestBasisFunctions:
+    def test_orthonormality_small_domain(self):
+        # Materialize every basis function over [0, 16) and verify the
+        # Gram matrix is the identity.
+        bits = 4
+        size = 1 << bits
+        x = np.arange(size)
+        levels, indices, values = _axis_levels_and_values(x, bits)
+        # Collect distinct basis functions as vectors.
+        basis = {}
+        for row in range(levels.shape[0]):
+            for pos in range(size):
+                key = (int(levels[row, pos]), int(indices[row, pos]))
+                vec = basis.setdefault(key, np.zeros(size))
+                vec[pos] = values[row, pos]
+        mat = np.stack(list(basis.values()))
+        gram = mat @ mat.T
+        np.testing.assert_allclose(gram, np.eye(mat.shape[0]), atol=1e-12)
+
+    def test_basis_count(self):
+        # 2^bits basis functions span the whole space.
+        bits = 5
+        size = 1 << bits
+        x = np.arange(size)
+        levels, indices, _ = _axis_levels_and_values(x, bits)
+        keys = set()
+        for row in range(levels.shape[0]):
+            for pos in range(size):
+                keys.add((int(levels[row, pos]), int(indices[row, pos])))
+        assert len(keys) == size
+
+    def test_interval_sums_match_pointwise(self):
+        bits = 5
+        size = 1 << bits
+        x = np.arange(size)
+        levels, indices, values = _axis_levels_and_values(x, bits)
+        # Pick the finest-level function over cell 3 and the scaling fn.
+        probes = [(SCALING_LEVEL, 0), (2, 1), (bits - 1, 3)]
+        for level, k in probes:
+            # Pointwise reconstruction of the basis function.
+            vec = np.zeros(size)
+            for row in range(levels.shape[0]):
+                mask = (levels[row] == level) & (indices[row] == k)
+                vec[np.flatnonzero(mask)] = values[row][mask]
+            for lo, hi in [(0, size - 1), (3, 17), (8, 8)]:
+                got = _basis_interval_sums(
+                    np.array([level]), np.array([k]), lo, hi, bits
+                )[0]
+                assert got == pytest.approx(vec[lo:hi + 1].sum(), abs=1e-12)
+
+
+class TestTransformProperties:
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=16,
+                 max_size=16),
+        st.lists(st.floats(min_value=0, max_value=100), min_size=16,
+                 max_size=16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_of_range_answers(self, a_vals, b_vals):
+        # query(data_a + data_b) == query(data_a) + query(data_b) when
+        # all coefficients are retained.
+        a = dense_1d(a_vals)
+        b = dense_1d(b_vals)
+        ab = dense_1d(np.asarray(a_vals) + np.asarray(b_vals))
+        wa = WaveletSummary(a, 10**9)
+        wb = WaveletSummary(b, 10**9)
+        wab = WaveletSummary(ab, 10**9)
+        for lo, hi in [(0, 15), (2, 9), (7, 7)]:
+            box = interval(lo, hi)
+            assert wab.query(box) == pytest.approx(
+                wa.query(box) + wb.query(box), abs=1e-6
+            )
+
+    def test_parseval_energy(self):
+        # Sum of squared coefficients equals the energy of the data
+        # (orthonormal transform).
+        rng = np.random.default_rng(0)
+        values = rng.random(64) * 10
+        data = dense_1d(values)
+        wav = WaveletSummary(data, 10**9)
+        energy = float((values ** 2).sum())
+        assert float((wav._c ** 2).sum()) == pytest.approx(energy)
+
+    def test_query_additive_over_disjoint_boxes(self):
+        rng = np.random.default_rng(1)
+        domain = ProductDomain([BitHierarchy(5), BitHierarchy(5)])
+        coords = rng.integers(0, 32, size=(60, 2))
+        weights = 1.0 + rng.random(60)
+        data = Dataset(coords=coords, weights=weights,
+                       domain=domain).aggregate_duplicates()
+        wav = WaveletSummary(data, 40)
+        left = Box((0, 0), (15, 31))
+        right = Box((16, 0), (31, 31))
+        full = Box((0, 0), (31, 31))
+        assert wav.query(full) == pytest.approx(
+            wav.query(left) + wav.query(right), abs=1e-9
+        )
+
+    def test_retained_ranking_prefers_total_mass(self):
+        # With budget 1 the scaling x scaling coefficient (largest range
+        # impact) must be kept, so the full-domain query is exact.
+        rng = np.random.default_rng(2)
+        values = rng.random(64)
+        data = dense_1d(values)
+        wav = WaveletSummary(data, 1)
+        assert wav.query(interval(0, 63)) == pytest.approx(values.sum())
