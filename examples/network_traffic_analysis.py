@@ -10,7 +10,7 @@ Run:  python examples/network_traffic_analysis.py
 
 import numpy as np
 
-from repro import Box, ExactSummary, stream_varopt_summary, two_pass_summary
+from repro import Box, ExactSummary, method_registry
 from repro.datagen import NetworkConfig, generate_network_flows
 
 
@@ -34,8 +34,8 @@ def main():
 
     rng = np.random.default_rng(1)
     s = 1000
-    aware = two_pass_summary(data, s=s, rng=rng)
-    obliv = stream_varopt_summary(data, s=s, rng=rng)
+    aware = method_registry.build("aware", data, s, rng)
+    obliv = method_registry.build("obliv", data, s, rng)
     print(f"summaries: {s} sampled keys each (aware + obliv)\n")
 
     # --- A traffic matrix between the busiest /4 source and dest blocks.

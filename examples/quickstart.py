@@ -5,7 +5,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import Box, ExactSummary, stream_varopt_summary, two_pass_summary
+from repro import Box, ExactSummary, method_registry
 from repro.datagen import NetworkConfig, generate_network_flows
 
 
@@ -20,9 +20,10 @@ def main():
     print(f"dataset: {data.n} flow keys, total bytes {data.total_weight:,.0f}")
 
     # 2. Summarize with 500 sampled keys, structure-aware (two passes).
+    #    Methods are selected declaratively from the engine registry.
     rng = np.random.default_rng(0)
-    aware = two_pass_summary(data, s=500, rng=rng)
-    obliv = stream_varopt_summary(data, s=500, rng=rng)
+    aware = method_registry.build("aware", data, 500, rng)
+    obliv = method_registry.build("obliv", data, 500, rng)
     print(f"aware sample: {aware.size} keys, threshold tau={aware.tau:.1f}")
 
     # 3. Ask range queries: traffic from the busiest /8 source block to

@@ -59,8 +59,10 @@ from repro.summaries import (
     StreamingQDigest,
     WaveletSummary,
 )
+from repro.engine import ShardedBuild, build_sharded, shard_dataset
+from repro.engine import registry as method_registry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Dataset",
@@ -96,5 +98,9 @@ __all__ = [
     "ExactSummary",
     "QDigestSummary",
     "WaveletSummary",
+    "ShardedBuild",
+    "build_sharded",
+    "method_registry",
+    "shard_dataset",
     "__version__",
 ]

@@ -10,11 +10,17 @@ weight plus ``tau`` times the number of light sampled keys -- eq. (1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.structures.ranges import Box, MultiRangeQuery
+from repro.core.aggregation import (
+    aggregate_pool,
+    finalize_leftover,
+    included_indices,
+)
+from repro.core.ipps import ipps_threshold
+from repro.structures.ranges import Box, MultiRangeQuery, batch_query_sums
 
 
 @dataclass
@@ -79,13 +85,152 @@ class SampleSummary:
         mask = query.contains(self.coords)
         return float(self.adjusted_weights[mask].sum())
 
-    def query_many(self, queries) -> list:
-        """Estimates for a batch of multi-range queries.
+    def query_many(self, queries) -> List[float]:
+        """Estimates for a batch of multi-range queries, vectorized.
 
         Mirrors :meth:`repro.summaries.base.Summary.query_many` so that
-        samples and dedicated summaries share the harness interface.
+        samples and dedicated summaries share the harness interface,
+        but answers the whole battery in one broadcasted NumPy pass
+        (:func:`repro.structures.ranges.batch_query_sums`) instead of a
+        per-query Python loop.
         """
-        return [self.query_multi(q) for q in queries]
+        queries = list(queries)
+        if self.size == 0:
+            return [0.0] * len(queries)
+        return batch_query_sums(
+            queries, self.coords, self.adjusted_weights
+        ).tolist()
+
+    def merge(
+        self,
+        other: "SampleSummary",
+        s: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "SampleSummary":
+        """Merge with an IPPS/VarOpt sample of a *disjoint* shard.
+
+        The merge re-runs pair aggregation over the union of the two
+        samples, treating each sampled key's Horvitz-Thompson adjusted
+        weight as its weight, with the threshold capped below by both
+        input thresholds.  The result is again a valid
+        :class:`SampleSummary` of (at most) ``s`` keys.
+
+        Correctness (paper Appendix A)
+        ------------------------------
+        Shard ``k`` includes key ``i`` with IPPS probability
+        ``q_i = min(1, w_i / tau_k)`` and records the adjusted weight
+        ``a_i = w_i / q_i = max(w_i, tau_k)``, so
+        ``E[sum_{i in S_k} a_i] = sum_i w_i`` (eq. 1).  The merge draws
+        a second-stage IPPS/VarOpt sample *of the adjusted weights*: key
+        ``i`` survives with probability ``p_i = min(1, a_i / tau*)``
+        where ``tau* = max(tau_1, tau_2, tau_s(a))`` and ``tau_s(a)``
+        solves ``sum_i min(1, a_i / tau) = s``.  Its final adjusted
+        weight is ``a_i / p_i = max(a_i, tau*)`` -- exactly what a
+        :class:`SampleSummary` with ``weights = a`` and ``tau = tau*``
+        reports.  By the tower rule the two Horvitz-Thompson stages
+        compose::
+
+            E[max(a_i, tau*) * 1{i in merged}]
+              = E[a_i * 1{i in S_k}] = w_i,
+
+        so every subset-sum estimate from the merged sample stays
+        unbiased.  Taking ``tau*`` at least as large as both input
+        thresholds keeps the threshold semantics intact: every
+        surviving light key's adjusted weight equals the single merged
+        threshold.  Pair aggregation (Algorithm 1) realizes the
+        inclusion vector with VarOpt's negative correlations, so the
+        variance bounds of Appendix A continue to hold with respect to
+        the adjusted weights.
+
+        Parameters
+        ----------
+        other:
+            Sample of a disjoint shard (same key dimensionality).
+        s:
+            Target size of the merged sample; defaults to
+            ``max(self.size, other.size)`` so folding k equal-size
+            shard samples keeps the footprint constant.
+        rng:
+            Randomness for the pair aggregations; a fresh default
+            generator is used when omitted.
+        """
+        if not isinstance(other, SampleSummary):
+            raise TypeError(
+                f"cannot merge SampleSummary with {type(other).__name__}"
+            )
+        if self.size and other.size and self.dims != other.dims:
+            raise ValueError(
+                f"dimensionality mismatch: {self.dims} vs {other.dims}"
+            )
+        # Merging with a summary of an empty shard is the identity --
+        # unless an explicit smaller target forces a re-aggregation of
+        # the non-empty side (the 'at most s keys' contract).
+        if other.size == 0 or self.size == 0:
+            base = self if other.size == 0 else other
+            if s is None or base.size <= s:
+                return SampleSummary(
+                    coords=base.coords.copy(),
+                    weights=base.weights.copy(),
+                    tau=base.tau,
+                )
+            return base.downsample(s, rng)
+        if s is None:
+            s = max(self.size, other.size)
+        coords = np.concatenate((self.coords, other.coords), axis=0)
+        adjusted = np.concatenate(
+            (self.adjusted_weights, other.adjusted_weights)
+        )
+        tau_floor = max(self.tau, other.tau)
+        return _reaggregate(coords, adjusted, tau_floor, s, rng)
+
+    def downsample(
+        self, s: int, rng: Optional[np.random.Generator] = None
+    ) -> "SampleSummary":
+        """Re-aggregate this sample down to at most ``s`` keys.
+
+        A second IPPS/VarOpt stage over the adjusted weights (the same
+        construction as :meth:`merge` with an empty other side), so all
+        Horvitz-Thompson estimates stay unbiased.  A no-op (copy) when
+        the sample already fits the target.
+        """
+        if self.size <= s:
+            return SampleSummary(
+                coords=self.coords.copy(),
+                weights=self.weights.copy(),
+                tau=self.tau,
+            )
+        return _reaggregate(
+            self.coords, self.adjusted_weights, self.tau, s, rng
+        )
+
+    @classmethod
+    def from_shards(
+        cls,
+        shards: Sequence["SampleSummary"],
+        s: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "SampleSummary":
+        """Fold per-shard samples into one sample of (at most) ``s`` keys.
+
+        Each fold is a :meth:`merge`, so unbiasedness composes across
+        any number of shards and any fold order.  A single oversized
+        shard is :meth:`downsample`-d so the size contract holds for
+        every input count.
+        """
+        shards = list(shards)
+        if not shards:
+            raise ValueError("from_shards requires at least one summary")
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged = merged.merge(shard, s=s, rng=rng)
+        if s is not None and merged.size > s:
+            merged = merged.downsample(s, rng)
+        return merged
+
+    @property
+    def mergeable(self) -> bool:
+        """Samples implement the mergeable-summary protocol."""
+        return True
 
     def estimate_subset(
         self, predicate: Callable[[np.ndarray], np.ndarray]
@@ -202,8 +347,49 @@ class SampleSummary:
         upper = lo
         return (heavy_part + lower, heavy_part + upper)
 
+    def __len__(self) -> int:
+        return self.size
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SampleSummary(size={self.size}, tau={self.tau:.6g})"
+        return (
+            f"SampleSummary(size={self.size}, dims={self.dims}, "
+            f"tau={self.tau:.6g}, total~{self.estimate_total():.6g})"
+        )
+
+
+def _reaggregate(
+    coords: np.ndarray,
+    adjusted: np.ndarray,
+    tau_floor: float,
+    s: int,
+    rng: Optional[np.random.Generator],
+) -> SampleSummary:
+    """Second-stage IPPS/VarOpt pair aggregation over adjusted weights.
+
+    Shared core of :meth:`SampleSummary.merge` and
+    :meth:`SampleSummary.downsample`: includes key ``i`` with
+    probability ``min(1, adjusted_i / tau*)`` where
+    ``tau* = max(tau_floor, tau_s(adjusted))``, realized with VarOpt
+    pair aggregations.
+    """
+    if s < 1:
+        raise ValueError("target sample size must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng()
+    tau_star = max(tau_floor, ipps_threshold(adjusted, s))
+    if tau_star == 0.0:
+        return SampleSummary(coords=coords, weights=adjusted, tau=0.0)
+    p = np.minimum(1.0, adjusted / tau_star)
+    fractional = np.flatnonzero((p > 0.0) & (p < 1.0))
+    pool = fractional[rng.permutation(fractional.size)]
+    leftover = aggregate_pool(p, pool.tolist(), rng)
+    finalize_leftover(p, leftover, rng)
+    included = included_indices(p)
+    return SampleSummary(
+        coords=coords[included],
+        weights=adjusted[included],
+        tau=tau_star,
+    )
 
 
 def summary_from_inclusion(

@@ -1,0 +1,164 @@
+"""Shard-parallel summary construction folded with mergeable summaries.
+
+``build_sharded`` is the engine's entry point: partition a dataset
+(:mod:`repro.engine.shard`), build one summary per shard -- in a
+process pool when possible, serially otherwise -- and fold the shard
+summaries into one with the mergeable-summary protocol
+(``merge`` / ``from_shards``).  Because every merge preserves
+Horvitz-Thompson unbiasedness (see
+:meth:`repro.core.estimator.SampleSummary.merge`), the folded summary
+is statistically equivalent to a monolithic build while the build
+itself scales with the number of cores.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.estimator import SampleSummary
+from repro.core.types import Dataset
+from repro.engine import registry
+from repro.engine.shard import shard_dataset
+
+#: Upper bound on worker processes (leave headroom for the parent).
+_MAX_DEFAULT_WORKERS = 8
+
+
+def _build_shard_task(args):
+    """Top-level (picklable) per-shard build used by the process pool."""
+    name, shard, size, seed = args
+    rng = np.random.default_rng(seed)
+    return registry.build(name, shard, size, rng)
+
+
+def fold_merge(
+    summaries: Sequence,
+    s: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Fold shard summaries into one via the mergeable protocol.
+
+    Samples get the size-targeted fold (each merge re-aggregates down
+    to ``s`` keys); other summary types fold with plain ``merge``.
+    """
+    summaries = list(summaries)
+    if not summaries:
+        raise ValueError("nothing to merge")
+    if all(isinstance(summary, SampleSummary) for summary in summaries):
+        return SampleSummary.from_shards(summaries, s=s, rng=rng)
+    merged = summaries[0]
+    for summary in summaries[1:]:
+        merged = merged.merge(summary)
+    return merged
+
+
+@dataclass
+class ShardedBuild:
+    """Outcome of a sharded build: the folded summary plus provenance."""
+
+    summary: object
+    num_shards: int
+    shard_sizes: List[int] = field(default_factory=list)
+    used_processes: bool = False
+
+
+def build_sharded(
+    method: Union[str, Callable],
+    dataset: Dataset,
+    s: int,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    num_shards: Optional[int] = None,
+    strategy: str = "contiguous",
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+) -> ShardedBuild:
+    """Partition, build per shard (in parallel), and merge.
+
+    Parameters
+    ----------
+    method:
+        A registry name (required for process-parallel builds, since
+        only the name crosses the process boundary) or a raw builder
+        callable ``(dataset, s, rng) -> summary`` (built serially).
+    dataset:
+        The full dataset; each shard sees a row-disjoint subset over
+        the same domain.
+    s:
+        Per-shard summary size, and the size the folded sample is
+        re-aggregated down to.
+    rng:
+        Seeds the per-shard generators and the merge; omit for a
+        nondeterministic build.
+    num_shards:
+        Defaults to the available parallelism (capped at 8).
+    strategy:
+        Sharding strategy (see :mod:`repro.engine.shard`).
+    parallel:
+        When False, or when ``method`` is a callable, shards build
+        serially in-process.  Process-pool failures (restricted
+        environments, unpicklable payloads) degrade to the serial path
+        instead of erroring.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if num_shards is None:
+        num_shards = max(1, min(os.cpu_count() or 1, _MAX_DEFAULT_WORKERS))
+    shards = shard_dataset(dataset, num_shards, strategy=strategy)
+    if not shards:
+        shards = [dataset]
+    if (
+        len(shards) > 1
+        and isinstance(method, str)
+        and not registry.is_mergeable(method)
+    ):
+        raise ValueError(
+            f"method {method!r} does not build mergeable summaries; "
+            "use num_shards=1 or a mergeable method"
+        )
+    seeds = [int(seed) for seed in rng.integers(0, 2**63, size=len(shards))]
+
+    builder: Optional[Callable] = None if isinstance(method, str) else method
+    summaries = None
+    used_processes = False
+    if parallel and builder is None and len(shards) > 1:
+        tasks = [
+            (method, shard, s, seed) for shard, seed in zip(shards, seeds)
+        ]
+        workers = max_workers or min(len(shards), _MAX_DEFAULT_WORKERS)
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                summaries = list(pool.map(_build_shard_task, tasks))
+            used_processes = True
+        except (BrokenProcessPool, pickle.PicklingError, OSError,
+                ImportError, KeyError):
+            # Pool infrastructure unavailable (restricted sandbox,
+            # unpicklable payload), or a spawn-started worker missing a
+            # parent-only registration (unknown names were already
+            # rejected above, so a worker KeyError means registry
+            # divergence): degrade to the serial path.  Builder errors
+            # raised inside a worker propagate as-is.
+            summaries = None
+    if summaries is None:
+        if builder is None:
+            builder = registry.get(method)
+        summaries = [
+            builder(shard, s, np.random.default_rng(seed))
+            for shard, seed in zip(shards, seeds)
+        ]
+
+    shard_sizes = [getattr(summary, "size", 0) for summary in summaries]
+    merged = fold_merge(summaries, s=s, rng=rng)
+    return ShardedBuild(
+        summary=merged,
+        num_shards=len(shards),
+        shard_sizes=shard_sizes,
+        used_processes=used_processes,
+    )

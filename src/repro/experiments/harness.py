@@ -14,33 +14,19 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.aware.product_sampler import product_aware_summary
-from repro.core.poisson import poisson_summary
 from repro.core.types import Dataset
-from repro.core.varopt import stream_varopt_summary
+from repro.engine import registry
 from repro.structures.ranges import MultiRangeQuery
 from repro.summaries.base import Summary
 from repro.summaries.exact import ExactSummary
-from repro.summaries.qdigest import QDigestSummary
-from repro.summaries.sketch import DyadicSketchSummary
-from repro.summaries.wavelet import WaveletSummary
-from repro.twopass.two_pass import two_pass_summary
 
 #: A summary factory: (dataset, size, rng) -> Summary.
 MethodFactory = Callable[[Dataset, int, np.random.Generator], Summary]
 
-METHODS: Dict[str, MethodFactory] = {
-    # The paper's `aware`: two passes, guide sample 5s, kd partition.
-    "aware": lambda data, s, rng: two_pass_summary(data, s, rng),
-    # Main-memory structure-aware variant (Section 4).
-    "aware-mm": lambda data, s, rng: product_aware_summary(data, s, rng),
-    # The paper's `obliv`: one-pass stream VarOpt.
-    "obliv": lambda data, s, rng: stream_varopt_summary(data, s, rng),
-    "poisson": lambda data, s, rng: poisson_summary(data, s, rng),
-    "wavelet": lambda data, s, rng: WaveletSummary(data, s),
-    "qdigest": lambda data, s, rng: QDigestSummary(data, s),
-    "sketch": lambda data, s, rng: DyadicSketchSummary(data, s, rng=rng),
-}
+#: Live read-only view of the method registry (kept under the old name
+#: so experiment code keeps working; register new methods through
+#: :func:`repro.engine.registry.register`).
+METHODS = registry.REGISTRY
 
 
 @dataclass
@@ -74,10 +60,9 @@ def build_summary(
     method: str, dataset: Dataset, size: int, rng: np.random.Generator
 ):
     """Build one summary, returning ``(summary, build_seconds)``."""
-    if method not in METHODS:
-        raise KeyError(f"unknown method {method!r}; have {sorted(METHODS)}")
+    builder = registry.get(method)
     start = time.perf_counter()
-    summary = METHODS[method](dataset, size, rng)
+    summary = builder(dataset, size, rng)
     return summary, time.perf_counter() - start
 
 

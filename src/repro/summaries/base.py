@@ -5,12 +5,18 @@ box-range-sum queries, reports its size measured "in terms of elements
 on the original data" (Section 6.2: sampled keys for samples, retained
 coefficients for wavelets, materialized nodes for q-digest, counters
 for sketches), and is built from a :class:`~repro.core.types.Dataset`.
+
+Summaries that can be combined additionally implement the *mergeable
+summary protocol*: ``a.merge(b)`` returns a summary of the union of the
+two underlying (disjoint) datasets, and ``Cls.from_shards(shards)``
+folds a list of per-shard summaries into one.  The sharded build engine
+(:mod:`repro.engine`) relies on nothing else.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Iterable
+from typing import Iterable, List, Sequence
 
 from repro.structures.ranges import Box, MultiRangeQuery
 
@@ -31,6 +37,36 @@ class Summary(abc.ABC):
         """Estimated total weight inside a union of disjoint boxes."""
         return float(sum(self.query(box) for box in query))
 
-    def query_many(self, queries: Iterable[MultiRangeQuery]) -> list:
+    def query_many(self, queries: Iterable[MultiRangeQuery]) -> List[float]:
         """Estimates for a batch of multi-range queries."""
         return [self.query_multi(q) for q in queries]
+
+    # ------------------------------------------------------------------
+    # Mergeable-summary protocol
+    # ------------------------------------------------------------------
+    def merge(self, other: "Summary") -> "Summary":
+        """Combine with a summary of a *disjoint* shard of the data.
+
+        The result summarizes the union of the two underlying datasets.
+        Subclasses for which merging is natural override this; the base
+        implementation refuses so callers can probe :attr:`mergeable`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support merging"
+        )
+
+    @property
+    def mergeable(self) -> bool:
+        """Whether this summary type implements :meth:`merge`."""
+        return type(self).merge is not Summary.merge
+
+    @classmethod
+    def from_shards(cls, shards: Sequence["Summary"]) -> "Summary":
+        """Fold per-shard summaries into one with repeated :meth:`merge`."""
+        shards = list(shards)
+        if not shards:
+            raise ValueError("from_shards requires at least one summary")
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged = merged.merge(shard)
+        return merged

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+from typing import Iterable, List
+
 import numpy as np
 
 from repro.core.types import Dataset
-from repro.structures.ranges import Box, MultiRangeQuery
+from repro.structures.ranges import Box, MultiRangeQuery, batch_query_sums
 from repro.summaries.base import Summary
 
 
@@ -36,3 +38,29 @@ class ExactSummary(Summary):
         """Exact total weight inside a union of boxes (single scan)."""
         mask = query.contains(self._coords)
         return float(self._weights[mask].sum())
+
+    def query_many(self, queries: Iterable[MultiRangeQuery]) -> List[float]:
+        """Exact answers for a whole battery in one broadcasted pass."""
+        queries = list(queries)
+        if self.size == 0:
+            return [0.0] * len(queries)
+        return batch_query_sums(queries, self._coords, self._weights).tolist()
+
+    def merge(self, other: "ExactSummary") -> "ExactSummary":
+        """Exact merge: concatenate the stored keys of disjoint shards."""
+        if not isinstance(other, ExactSummary):
+            raise TypeError(
+                f"cannot merge ExactSummary with {type(other).__name__}"
+            )
+        merged = object.__new__(ExactSummary)
+        if self.size == 0:
+            merged._coords = other._coords
+            merged._weights = other._weights
+            return merged
+        if other.size == 0:
+            merged._coords = self._coords
+            merged._weights = self._weights
+            return merged
+        merged._coords = np.concatenate((self._coords, other._coords), axis=0)
+        merged._weights = np.concatenate((self._weights, other._weights))
+        return merged

@@ -19,12 +19,12 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.types import Dataset
-from repro.structures.ranges import Box
+from repro.structures.ranges import Box, MultiRangeQuery, flatten_queries
 from repro.summaries.base import Summary
 
 
@@ -153,6 +153,21 @@ class QDigestSummary(Summary):
         """Number of materialized nodes."""
         return len(self._boxes)
 
+    def _fractions(self, overlap_volume: np.ndarray) -> np.ndarray:
+        """Per-leaf contribution fractions from overlap volumes.
+
+        Shared by the scalar and batched query paths; the trailing
+        axis of ``overlap_volume`` indexes the leaves.
+        """
+        if self._partial == "uniform":
+            return overlap_volume / self._volumes
+        contained = overlap_volume >= self._volumes
+        boundary = (overlap_volume > 0) & ~contained
+        fractions = contained.astype(float)
+        if self._partial == "half":
+            fractions += 0.5 * boundary
+        return fractions
+
     def query(self, box: Box) -> float:
         """Range-sum estimate (see ``partial`` in the class docstring).
 
@@ -168,15 +183,69 @@ class QDigestSummary(Summary):
         )
         np.clip(overlap, 0.0, None, out=overlap)
         overlap_volume = np.prod(overlap, axis=1)
-        if self._partial == "uniform":
-            fractions = overlap_volume / self._volumes
-        else:
-            contained = overlap_volume >= self._volumes
-            boundary = (overlap_volume > 0) & ~contained
-            fractions = contained.astype(float)
-            if self._partial == "half":
-                fractions += 0.5 * boundary
-        return float((self._weights * fractions).sum())
+        return float((self._weights * self._fractions(overlap_volume)).sum())
+
+    def query_many(self, queries: Iterable[MultiRangeQuery]) -> List[float]:
+        """Batch evaluation: all boxes against all leaves in one pass.
+
+        Stacks every query box into a bounds array and computes the
+        ``(B, L)`` leaf-overlap volumes by broadcasting, then folds the
+        per-box contributions back onto queries with ``add.reduceat``
+        (boxes of a multi-range query are disjoint, so contributions
+        add).  Chunked over boxes to bound the intermediate array.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        if self.size == 0:
+            return [0.0] * len(queries)
+        bounds, counts = flatten_queries(queries)
+        n_boxes = bounds.shape[0]
+        n_leaves = self._weights.shape[0]
+        per_box = np.empty(n_boxes, dtype=float)
+        chunk = max(1, 8_000_000 // max(1, n_leaves * self._dims))
+        for start in range(0, n_boxes, chunk):
+            stop = min(n_boxes, start + chunk)
+            q_lows = bounds[start:stop, :, 0].astype(float)
+            q_highs = bounds[start:stop, :, 1].astype(float)
+            overlap = (
+                np.minimum(self._highs[None, :, :], q_highs[:, None, :])
+                - np.maximum(self._lows[None, :, :], q_lows[:, None, :])
+                + 1.0
+            )
+            np.clip(overlap, 0.0, None, out=overlap)
+            overlap_volume = np.prod(overlap, axis=2)
+            per_box[start:stop] = self._fractions(overlap_volume) @ self._weights
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        return np.add.reduceat(per_box, offsets).tolist()
+
+    def merge(self, other: "QDigestSummary") -> "QDigestSummary":
+        """Merge by taking the union of the two leaf partitions.
+
+        Each shard's leaves partition the (shared) domain over *its*
+        keys, so the union of the leaf sets is a valid materialized
+        node set for the union of the shards: range sums add.  The
+        footprint is the sum of the two node counts; re-compressing to
+        a budget would require the original keys, which a q-digest no
+        longer has.
+        """
+        if not isinstance(other, QDigestSummary):
+            raise TypeError(
+                f"cannot merge QDigestSummary with {type(other).__name__}"
+            )
+        if self._partial != other._partial:
+            raise ValueError("cannot merge q-digests with different modes")
+        if self._dims != other._dims:
+            raise ValueError("dimensionality mismatch")
+        merged = object.__new__(QDigestSummary)
+        merged._partial = self._partial
+        merged._dims = self._dims
+        merged._boxes = self._boxes + other._boxes
+        merged._weights = np.concatenate((self._weights, other._weights))
+        merged._lows = np.concatenate((self._lows, other._lows), axis=0)
+        merged._highs = np.concatenate((self._highs, other._highs), axis=0)
+        merged._volumes = np.concatenate((self._volumes, other._volumes))
+        return merged
 
     def query_bounds(self, box: Box):
         """Deterministic (lower, upper) bounds on the true range sum."""

@@ -120,6 +120,31 @@ class StreamingQDigest:
                             self._counts.get(parent, 0.0) + merged
                         )
 
+    def merge(self, other: "StreamingQDigest") -> "StreamingQDigest":
+        """The classic q-digest merge: add node counts, then compress.
+
+        Both digests must cover the same domain.  The merged digest
+        keeps the larger compression factor ``k``; the error guarantee
+        ``log(domain) * total / k`` holds for the combined total.
+        """
+        if not isinstance(other, StreamingQDigest):
+            raise TypeError(
+                f"cannot merge StreamingQDigest with {type(other).__name__}"
+            )
+        if self._bits != other._bits:
+            raise ValueError("cannot merge q-digests over different domains")
+        merged = StreamingQDigest(
+            self._bits,
+            max(self._k, other._k),
+            compress_every=min(self._compress_every, other._compress_every),
+        )
+        merged._counts = dict(self._counts)
+        for node, count in other._counts.items():
+            merged._counts[node] = merged._counts.get(node, 0.0) + count
+        merged._total = self._total + other._total
+        merged.compress()
+        return merged
+
     def range_sum(self, lo: int, hi: int) -> float:
         """Estimated weight of keys in ``[lo, hi]``.
 

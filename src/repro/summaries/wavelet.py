@@ -107,6 +107,7 @@ class WaveletSummary(Summary):
         if s < 1:
             raise ValueError("coefficient budget must be >= 1")
         self._dims = dataset.dims
+        self._budget = int(s)
         self._bits = tuple(
             _axis_bits(axis_size) for axis_size in dataset.domain.sizes
         )
@@ -208,6 +209,52 @@ class WaveletSummary(Summary):
             self._ly = np.asarray([k[2] for k, _ in items], dtype=np.int64)
             self._iy = np.asarray([k[3] for k, _ in items], dtype=np.int64)
         self._c = np.asarray([c for _, c in items], dtype=float)
+
+    # ------------------------------------------------------------------
+    # Merge
+    # ------------------------------------------------------------------
+    def _retained_coeffs(self) -> Dict[tuple, float]:
+        """The retained coefficients as a key -> value dict."""
+        if self._dims == 1:
+            return {
+                (int(l), int(k)): float(c)
+                for l, k, c in zip(self._lx, self._ix, self._c)
+            }
+        return {
+            (int(lx), int(kx), int(ly), int(ky)): float(c)
+            for lx, kx, ly, ky, c in zip(
+                self._lx, self._ix, self._ly, self._iy, self._c
+            )
+        }
+
+    def merge(self, other: "WaveletSummary") -> "WaveletSummary":
+        """Merge by adding coefficients, then re-thresholding.
+
+        The Haar transform is linear, so the transform of the union of
+        two disjoint shards is the sum of the shard transforms.
+        Summing the *retained* coefficients and keeping the top
+        ``max(budget_a, budget_b)`` is therefore the natural
+        (lossy-on-lossy) wavelet merge; coefficients a shard already
+        dropped stay dropped, exactly as in streaming wavelet
+        maintenance.
+        """
+        if not isinstance(other, WaveletSummary):
+            raise TypeError(
+                f"cannot merge WaveletSummary with {type(other).__name__}"
+            )
+        if self._dims != other._dims or self._bits != other._bits:
+            raise ValueError("cannot merge wavelets over different domains")
+        combined = self._retained_coeffs()
+        for key, value in other._retained_coeffs().items():
+            combined[key] = combined.get(key, 0.0) + value
+        combined = {k: c for k, c in combined.items() if c != 0.0}
+        merged = object.__new__(WaveletSummary)
+        merged._dims = self._dims
+        merged._bits = self._bits
+        merged._budget = max(self._budget, other._budget)
+        merged.coefficients_computed = len(combined)
+        merged._retain_top(combined, merged._budget)
+        return merged
 
     # ------------------------------------------------------------------
     # Query

@@ -85,6 +85,7 @@ class TestExamples:
             "network_traffic_analysis.py",
             "stream_summarization.py",
             "confidence_intervals.py",
+            "sharded_engine.py",
         ],
     )
     def test_slow_examples_run(self, script):
