@@ -9,7 +9,7 @@ import time
 
 import numpy as np
 
-from conftest import emit
+from conftest import emit, perf_assert
 from repro.datagen.queries import uniform_area_queries
 from repro.experiments.harness import evaluate_summary, ground_truths
 from repro.experiments.report import FigureResult, render_figure
@@ -56,4 +56,4 @@ def test_guide_multiplier_ablation(benchmark, network_data, results_dir):
     errors = dict(result.series["abs_error"])
     # The paper's observation: going beyond 5 changes little (allow 2x
     # slack for noise).
-    assert errors[10] < errors[5] * 2 + 1e-6
+    perf_assert(errors[10] < errors[5] * 2 + 1e-6)

@@ -7,21 +7,30 @@ shallow gradient, i.e. *relative* error improves as queries grow; for
 heavier queries aware is about half of obliv.
 """
 
-from conftest import emit
+from conftest import SMOKE, emit
 from repro.experiments.figures import fig2b
 from repro.experiments.report import render_comparison, render_figure
+
+PARAMS = dict(
+    size=2700,
+    ranges_per_query=10,
+    cell_counts=(2000, 600, 200, 60, 20),
+    n_queries=30,
+    repeats=3,
+)
+if SMOKE:
+    PARAMS = dict(
+        size=500,
+        ranges_per_query=3,
+        cell_counts=(400, 150, 60, 30, 20),
+        n_queries=8,
+        repeats=2,
+    )
 
 
 def test_fig2b(benchmark, network_data, results_dir):
     result = benchmark.pedantic(
-        lambda: fig2b(
-            network_data,
-            size=2700,
-            ranges_per_query=10,
-            cell_counts=(2000, 600, 200, 60, 20),
-            n_queries=30,
-            repeats=3,
-        ),
+        lambda: fig2b(network_data, **PARAMS),
         rounds=1,
         iterations=1,
     )

@@ -7,21 +7,30 @@ better at few ranges and converges to obliv as ranges shrink (40+
 ranges: minimal difference).
 """
 
-from conftest import emit
+from conftest import SMOKE, emit, perf_assert
 from repro.experiments.figures import fig2c
 from repro.experiments.report import render_figure
+
+PARAMS = dict(
+    size=2700,
+    range_counts=(1, 2, 5, 10, 25, 50),
+    target_weight=0.12,
+    n_queries=30,
+    repeats=3,
+)
+if SMOKE:
+    PARAMS = dict(
+        size=500,
+        range_counts=(1, 2, 5, 10, 25, 50),
+        target_weight=0.12,
+        n_queries=8,
+        repeats=2,
+    )
 
 
 def test_fig2c(benchmark, network_data, results_dir):
     result = benchmark.pedantic(
-        lambda: fig2c(
-            network_data,
-            size=2700,
-            range_counts=(1, 2, 5, 10, 25, 50),
-            target_weight=0.12,
-            n_queries=30,
-            repeats=3,
-        ),
+        lambda: fig2c(network_data, **PARAMS),
         rounds=1,
         iterations=1,
     )
@@ -37,4 +46,4 @@ def test_fig2c(benchmark, network_data, results_dir):
     emit(results_dir, "fig2c", text)
     assert len(aware) == 6
     # The aware advantage shrinks as the number of ranges grows.
-    assert gap_small > gap_large * 0.8
+    perf_assert(gap_small > gap_large * 0.8)

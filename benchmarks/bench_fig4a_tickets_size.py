@@ -6,7 +6,7 @@ samples); they diverge at larger sizes where structure-awareness wins
 (paper: less than half the obliv error at 1-10% of the data size).
 """
 
-from conftest import emit
+from conftest import emit, perf_assert
 from repro.experiments.figures import fig4a
 from repro.experiments.report import render_comparison, render_figure
 
@@ -28,4 +28,4 @@ def test_fig4a(benchmark, tickets_data, results_dir):
     text += "\n" + render_comparison(result, baseline="obliv", target="aware")
     emit(results_dir, "fig4a", text)
     aware = dict(result.series["aware"])
-    assert aware[3000] < aware[100]
+    perf_assert(aware[3000] < aware[100])

@@ -5,21 +5,32 @@ methods give the best results overall; wavelets do not catch up the way
 they can on uniform-area queries.
 """
 
-from conftest import emit
+from conftest import SMOKE, emit
 from repro.experiments.figures import fig4c
 from repro.experiments.report import render_comparison, render_figure
+
+#: Tiny ticket datasets yield few equal-weight cells; smoke mode asks
+#: for proportionally coarser partitions and fewer ranges per query.
+PARAMS = dict(
+    size=2700,
+    ranges_per_query=10,
+    cell_counts=(2000, 600, 200, 60, 20),
+    n_queries=30,
+    repeats=3,
+)
+if SMOKE:
+    PARAMS = dict(
+        size=600,
+        ranges_per_query=3,
+        cell_counts=(400, 150, 60, 30, 20),
+        n_queries=10,
+        repeats=2,
+    )
 
 
 def test_fig4c(benchmark, tickets_data, results_dir):
     result = benchmark.pedantic(
-        lambda: fig4c(
-            tickets_data,
-            size=2700,
-            ranges_per_query=10,
-            cell_counts=(2000, 600, 200, 60, 20),
-            n_queries=30,
-            repeats=3,
-        ),
+        lambda: fig4c(tickets_data, **PARAMS),
         rounds=1,
         iterations=1,
     )

@@ -1,0 +1,105 @@
+"""Live streaming dashboard: micro-batch ingestion + windowed queries.
+
+Two live views driven by the streaming engine:
+
+1. **Traffic totals (landmark)** -- a network-flow feed is ingested in
+   micro-batches by a VarOpt reservoir (``obliv``), a mergeable
+   Count-Sketch (``sketch``) and the exact store; every few batches the
+   dashboard refreshes a battery of subnet queries *live*, without
+   rebuilding anything.
+2. **Burst monitor (sliding window)** -- a bursty time series flows
+   through a sliding event-time window (panes folded with the
+   mergeable-summary protocol at query time), so the recent-activity
+   estimate tracks bursts and forgets them as they age out.
+
+Run:  python examples/streaming_dashboard.py
+"""
+
+import numpy as np
+
+from repro import Box, StreamEngine, sliding
+from repro.datagen import (
+    NetworkConfig,
+    TimeSeriesConfig,
+    network_domain,
+    stream_bursty_series,
+    stream_network_flows,
+)
+from repro.structures.order import OrderedDomain
+from repro.structures.product import ProductDomain
+
+
+def traffic_dashboard():
+    config = NetworkConfig(n_pairs=40_000, n_sources=6_000, n_dests=5_000)
+    engine = StreamEngine(
+        network_domain(config), ["obliv", "sketch", "exact"], 1_500, seed=7
+    )
+    top = 1 << config.bits
+    # "Subnet" panels: the four top-level source-prefix quadrants.
+    panels = [
+        Box((q * (top // 4), 0), ((q + 1) * (top // 4) - 1, top - 1))
+        for q in range(4)
+    ]
+
+    print("=== live traffic totals (landmark) ===")
+    print("    batches      items   method      q0%    q1%    q2%    q3%")
+    source = stream_network_flows(config, seed=7, batch_size=2_000)
+    for refresh in range(4):
+        engine.ingest(source, limit=5)
+        answers = engine.query_many_now(panels)
+        exact_total = sum(answers["exact"]) or 1.0
+        for method in ("exact", "obliv", "sketch"):
+            shares = [a / exact_total for a in answers[method]]
+            cells = "  ".join(f"{share:5.1%}" for share in shares)
+            name = f"{method:<10s}" if method != "exact" else "exact     "
+            lead = (
+                f"    {engine.batches_seen:7d}  {engine.items_seen:9d}"
+                if method == "exact"
+                else " " * 23
+            )
+            print(f"{lead}   {name} {cells}")
+    reservoir = engine.snapshot("obliv")
+    print(
+        f"    reservoir: {reservoir.size} keys, tau={reservoir.tau:.3f}, "
+        f"total estimate {reservoir.estimate_total():,.0f}"
+    )
+
+
+def burst_monitor():
+    config = TimeSeriesConfig(horizon=1 << 20, n_bursts=8)
+    window = sliding(width=1 << 17, slide=1 << 15)  # 4-pane sliding window
+    engine = StreamEngine(
+        # 1-D ordered time domain: the streaming q-digest is native
+        # here; exact is the reference.
+        ProductDomain([OrderedDomain(config.horizon)]),
+        ["exact", "qdigest-stream"],
+        600,
+        window=window,
+        seed=1,
+    )
+    whole = Box((0,), ((1 << 20) - 1,))
+    print("\n=== burst monitor (sliding window, 4 panes) ===")
+    print("      now(k-slots)   panes   recent weight (exact / qdigest)")
+    last_bucket = -1
+    for batch in stream_bursty_series(config, seed=4, batch_duration=1 << 15):
+        engine.process(batch)
+        bucket = int(engine.now) >> 17
+        if bucket != last_bucket:
+            last_bucket = bucket
+            live = engine.query_now(whole)
+            print(
+                f"      {engine.now / 1024:12.0f}   {engine.num_panes:5d}"
+                f"   {live['exact']:12,.0f} / {live['qdigest-stream']:12,.0f}"
+            )
+    print(f"      ingested {engine.items_seen} events "
+          f"in {engine.batches_seen} batches")
+
+
+def main():
+    np.set_printoptions(suppress=True)
+    traffic_dashboard()
+    burst_monitor()
+
+
+if __name__ == "__main__":
+    main()

@@ -61,8 +61,15 @@ from repro.summaries import (
 )
 from repro.engine import ShardedBuild, build_sharded, shard_dataset
 from repro.engine import registry as method_registry
+from repro.stream import (
+    BufferedRebuildSummary,
+    MicroBatch,
+    StreamEngine,
+    sliding,
+    tumbling,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Dataset",
@@ -102,5 +109,10 @@ __all__ = [
     "build_sharded",
     "method_registry",
     "shard_dataset",
+    "BufferedRebuildSummary",
+    "MicroBatch",
+    "StreamEngine",
+    "sliding",
+    "tumbling",
     "__version__",
 ]

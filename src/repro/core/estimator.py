@@ -20,7 +20,12 @@ from repro.core.aggregation import (
     included_indices,
 )
 from repro.core.ipps import ipps_threshold
-from repro.structures.ranges import Box, MultiRangeQuery, batch_query_sums
+from repro.structures.ranges import (
+    Box,
+    MultiRangeQuery,
+    SortOrderCache,
+    batch_query_sums,
+)
 
 
 @dataclass
@@ -49,6 +54,9 @@ class SampleSummary:
             raise ValueError("coords and weights must have matching length")
         if self.tau < 0:
             raise ValueError("tau must be non-negative")
+        # A sample is immutable once built, so its sort orders can be
+        # computed once and reused across repeated query batteries.
+        self._query_cache = SortOrderCache()
 
     @property
     def size(self) -> int:
@@ -85,20 +93,25 @@ class SampleSummary:
         mask = query.contains(self.coords)
         return float(self.adjusted_weights[mask].sum())
 
-    def query_many(self, queries) -> List[float]:
+    def query_many(self, queries: Sequence) -> List[float]:
         """Estimates for a batch of multi-range queries, vectorized.
 
         Mirrors :meth:`repro.summaries.base.Summary.query_many` so that
         samples and dedicated summaries share the harness interface,
         but answers the whole battery in one broadcasted NumPy pass
         (:func:`repro.structures.ranges.batch_query_sums`) instead of a
-        per-query Python loop.
+        per-query Python loop.  The sample's sort orders are cached on
+        first use, so repeated batteries skip the re-sort.
         """
         queries = list(queries)
         if self.size == 0:
             return [0.0] * len(queries)
         return batch_query_sums(
-            queries, self.coords, self.adjusted_weights
+            queries,
+            self.coords,
+            self.adjusted_weights,
+            cache=self._query_cache,
+            version=0,
         ).tolist()
 
     def merge(

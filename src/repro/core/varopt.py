@@ -28,6 +28,7 @@ from repro.core.aggregation import (
 from repro.core.estimator import SampleSummary
 from repro.core.ipps import ipps_probabilities
 from repro.core.types import Dataset
+from repro.summaries.base import IncrementalSummary, coerce_batch
 
 
 def varopt_sample(
@@ -65,12 +66,25 @@ def varopt_summary(
     )
 
 
-class StreamVarOpt:
+class StreamVarOpt(IncrementalSummary):
     """One-pass VarOpt_s reservoir sampling over a weighted stream.
 
     Feed items with :meth:`feed`; read the sample at any time with
     :meth:`summary`.  The realized sample size is exactly
     ``min(s, #positive items fed)``.
+
+    The reservoir is the sampling methods' native carrier of the
+    incremental summary protocol: :meth:`update` feeds a micro-batch
+    and :meth:`snapshot` freezes the reservoir into a
+    :class:`~repro.core.estimator.SampleSummary`.
+
+    Reproducibility: the sampler owns its generator.  Pass an integer
+    seed (or ``None``) rather than sharing one ``Generator`` object
+    across samplers -- a shared generator's state is consumed by every
+    consumer, so two "identically seeded" engines would diverge.  The
+    streaming engine derives an independent child seed per (method,
+    pane) for exactly this reason (see
+    :func:`repro.stream.derive_seed`).
 
     Implementation notes
     --------------------
@@ -80,10 +94,12 @@ class StreamVarOpt:
     and migrate to the light region as ``tau`` rises past them.
     """
 
-    def __init__(self, s: int, rng: np.random.Generator):
+    def __init__(self, s: int, rng=None):
         if s < 1:
             raise ValueError("sample size must be >= 1")
         self._s = int(s)
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
         self._rng = rng
         self._tau = 0.0
         self._counter = 0  # tiebreaker for the heap
@@ -124,6 +140,29 @@ class StreamVarOpt:
         """Process a batch of items in order."""
         for key, weight in zip(keys, weights):
             self.feed(key, float(weight))
+
+    # ------------------------------------------------------------------
+    # Incremental summary protocol
+    # ------------------------------------------------------------------
+    def update(self, keys, weights) -> None:
+        """Feed one micro-batch (an ``(n, d)`` array or key tuples)."""
+        coords, weights = coerce_batch(keys, weights)
+        for key, weight in zip(coords.tolist(), weights.tolist()):
+            self.feed(tuple(key), weight)
+
+    def snapshot(self) -> SampleSummary:
+        """Freeze the reservoir into a :class:`SampleSummary`."""
+        return self.summary()
+
+    @property
+    def version(self) -> int:
+        """Counter identifying the ingested state (items seen)."""
+        return self._items_seen
+
+    @property
+    def items_seen(self) -> int:
+        """Number of positive-weight items fed so far."""
+        return self._items_seen
 
     def _push_heavy(self, key, weight: float) -> None:
         self._counter += 1

@@ -6,7 +6,12 @@ from repro.datagen.distributions import (
     zipf_choice,
     with_heavy_head,
 )
-from repro.datagen.network import NetworkConfig, generate_network_flows
+from repro.datagen.network import (
+    NetworkConfig,
+    generate_network_flows,
+    network_domain,
+    stream_network_flows,
+)
 from repro.datagen.tickets import TicketConfig, generate_tickets, clustered_leaves
 from repro.datagen.queries import (
     uniform_area_queries,
@@ -16,12 +21,14 @@ from repro.datagen.queries import (
 from repro.datagen.timeseries import (
     TimeSeriesConfig,
     generate_bursty_series,
+    stream_bursty_series,
     burstiness,
 )
 
 __all__ = [
     "TimeSeriesConfig",
     "generate_bursty_series",
+    "stream_bursty_series",
     "burstiness",
     "pareto_weights",
     "zipf_popularities",
@@ -29,6 +36,8 @@ __all__ = [
     "with_heavy_head",
     "NetworkConfig",
     "generate_network_flows",
+    "network_domain",
+    "stream_network_flows",
     "TicketConfig",
     "generate_tickets",
     "clustered_leaves",

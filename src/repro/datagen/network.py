@@ -14,12 +14,13 @@ properties the algorithms are sensitive to:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.core.types import Dataset
 from repro.datagen.distributions import pareto_weights, zipf_popularities
+from repro.stream.types import MicroBatch
 from repro.structures.hierarchy import BitHierarchy
 from repro.structures.product import ProductDomain
 
@@ -79,6 +80,64 @@ def _clustered_addresses(
     return addresses[:n_distinct]
 
 
+def _address_universe(config: NetworkConfig, rng: np.random.Generator):
+    """The generator's fixed address population and popularity laws."""
+    sources = _clustered_addresses(config.n_sources, config, rng)
+    dests = _clustered_addresses(config.n_dests, config, rng)
+    src_pop = zipf_popularities(config.n_sources, config.address_exponent)
+    dst_pop = zipf_popularities(config.n_dests, config.address_exponent)
+    return sources, dests, src_pop, dst_pop
+
+
+def network_domain(config: NetworkConfig = NetworkConfig()) -> ProductDomain:
+    """The product-of-hierarchies domain network flows live in."""
+    return ProductDomain(
+        [BitHierarchy(config.bits), BitHierarchy(config.bits)]
+    )
+
+
+def stream_network_flows(
+    config: NetworkConfig = NetworkConfig(),
+    seed: int = 42,
+    batch_size: int = 1000,
+    time_per_batch: float = 1.0,
+    n_batches: Optional[int] = None,
+) -> Iterator[MicroBatch]:
+    """The flow table as a live micro-batch stream (lazy generator).
+
+    Draws flows from the same clustered-address / heavy-tailed-bytes
+    population as :func:`generate_network_flows`, but batch by batch:
+    ``config.n_pairs`` bounds the total (pass ``n_batches=None`` to
+    emit until it is reached; a smaller ``n_batches`` stops early).
+    Each batch carries an event-time stamp advancing ``time_per_batch``
+    per batch.  Flows are *not* key-aggregated -- repeats of a pair are
+    separate stream items, exactly as a packet tap would deliver them.
+
+    Feed the result straight to the streaming engine::
+
+        engine = StreamEngine(network_domain(config), "obliv", 1000)
+        engine.ingest(stream_network_flows(config))
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    rng = np.random.default_rng(seed)
+    sources, dests, src_pop, dst_pop = _address_universe(config, rng)
+    total = config.n_pairs
+    if n_batches is not None:
+        total = min(total, n_batches * batch_size)
+    emitted = 0
+    batch_index = 0
+    while emitted < total:
+        b = min(batch_size, total - emitted)
+        src_idx = rng.choice(config.n_sources, size=b, p=src_pop)
+        dst_idx = rng.choice(config.n_dests, size=b, p=dst_pop)
+        coords = np.column_stack((sources[src_idx], dests[dst_idx]))
+        weights = pareto_weights(b, config.weight_alpha, rng=rng)
+        batch_index += 1
+        emitted += b
+        yield MicroBatch(coords, weights, timestamp=batch_index * time_per_batch)
+
+
 def generate_network_flows(
     config: NetworkConfig = NetworkConfig(), seed: int = 42
 ) -> Dataset:
@@ -90,16 +149,12 @@ def generate_network_flows(
     slightly fewer than ``config.n_pairs`` distinct keys.
     """
     rng = np.random.default_rng(seed)
-    sources = _clustered_addresses(config.n_sources, config, rng)
-    dests = _clustered_addresses(config.n_dests, config, rng)
-    src_pop = zipf_popularities(config.n_sources, config.address_exponent)
-    dst_pop = zipf_popularities(config.n_dests, config.address_exponent)
+    sources, dests, src_pop, dst_pop = _address_universe(config, rng)
     src_idx = rng.choice(config.n_sources, size=config.n_pairs, p=src_pop)
     dst_idx = rng.choice(config.n_dests, size=config.n_pairs, p=dst_pop)
     coords = np.column_stack((sources[src_idx], dests[dst_idx]))
     weights = pareto_weights(config.n_pairs, config.weight_alpha, rng=rng)
-    domain = ProductDomain(
-        [BitHierarchy(config.bits), BitHierarchy(config.bits)]
+    dataset = Dataset(
+        coords=coords, weights=weights, domain=network_domain(config)
     )
-    dataset = Dataset(coords=coords, weights=weights, domain=domain)
     return dataset.aggregate_duplicates()

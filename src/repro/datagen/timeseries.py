@@ -10,11 +10,13 @@ matter most (a uniform series makes every summary look good).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.core.types import Dataset
 from repro.datagen.distributions import pareto_weights
+from repro.stream.types import MicroBatch
 
 
 @dataclass(frozen=True)
@@ -50,6 +52,68 @@ def generate_bursty_series(
     weights = pareto_weights(keys.size, config.weight_alpha, rng=rng)
     data = Dataset.one_dimensional(keys, weights, size=config.horizon)
     return data.aggregate_duplicates()
+
+
+def stream_bursty_series(
+    config: TimeSeriesConfig = TimeSeriesConfig(),
+    seed: int = 0,
+    batch_duration: Optional[int] = None,
+    batch_size: int = 1000,
+) -> Iterator[MicroBatch]:
+    """The bursty series as a time-ordered micro-batch stream.
+
+    Events arrive sorted by timestamp (their key), unaggregated, so
+    this is the natural feed for event-time windowing.  Two slicing
+    modes:
+
+    * ``batch_duration`` set -- one batch per ``batch_duration`` time
+      slots, *aligned to multiples of it*.  A window whose pane length
+      is a multiple of ``batch_duration`` therefore never sees a batch
+      straddle a pane boundary (each batch fits inside one pane), which
+      makes streamed window contents exactly reproducible from the
+      batch dataset.  Empty spans emit nothing.
+    * ``batch_duration`` unset -- fixed ``batch_size`` batches.
+
+    Batch timestamps are the batch's last event time (event clock).
+    """
+    rng = np.random.default_rng(seed)
+    times = [rng.integers(0, config.horizon, size=config.n_background)]
+    width = max(1, int(config.burst_width_frac * config.horizon))
+    for _ in range(config.n_bursts):
+        center = int(rng.integers(0, config.horizon))
+        lo = max(0, center - width // 2)
+        hi = min(config.horizon - 1, center + width // 2)
+        times.append(rng.integers(lo, hi + 1, size=config.burst_events))
+    keys = np.concatenate(times)
+    weights = pareto_weights(keys.size, config.weight_alpha, rng=rng)
+    order = np.argsort(keys, kind="stable")
+    keys, weights = keys[order], weights[order]
+    coords = keys.reshape(-1, 1)
+    if batch_duration is not None:
+        if batch_duration < 1:
+            raise ValueError("batch_duration must be >= 1")
+        edges = np.arange(
+            batch_duration, config.horizon + batch_duration, batch_duration
+        )
+        starts = np.searchsorted(keys, edges - batch_duration, side="left")
+        stops = np.searchsorted(keys, edges - 1, side="right")
+        for edge, start, stop in zip(edges, starts, stops):
+            if stop > start:
+                yield MicroBatch(
+                    coords[start:stop],
+                    weights[start:stop],
+                    timestamp=float(keys[stop - 1]),
+                )
+        return
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    for start in range(0, keys.size, batch_size):
+        stop = min(start + batch_size, keys.size)
+        yield MicroBatch(
+            coords[start:stop],
+            weights[start:stop],
+            timestamp=float(keys[stop - 1]),
+        )
 
 
 def burstiness(dataset: Dataset, n_bins: int = 64) -> float:

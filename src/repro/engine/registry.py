@@ -92,9 +92,16 @@ def _register_defaults() -> None:
     from repro.core.varopt import stream_varopt_summary, varopt_summary
     from repro.summaries.exact import ExactSummary
     from repro.summaries.qdigest import QDigestSummary
-    from repro.summaries.sketch import DyadicSketchSummary
+    from repro.summaries.qdigest_stream import StreamingQDigest
+    from repro.summaries.sketch import DEFAULT_HASH_SEED, DyadicSketchSummary
     from repro.summaries.wavelet import WaveletSummary
     from repro.twopass.two_pass import two_pass_summary
+
+    def _qdigest_stream(data, s, rng):
+        """Classic streaming 1-D q-digest, fed in storage order."""
+        digest = StreamingQDigest.for_domain(data.domain, s)
+        digest.update(data.coords, data.weights)
+        return digest
 
     # The paper's `aware`: two passes, guide sample 5s, kd partition.
     register("aware", lambda data, s, rng: two_pass_summary(data, s, rng))
@@ -108,10 +115,14 @@ def _register_defaults() -> None:
     register("poisson", lambda data, s, rng: poisson_summary(data, s, rng))
     register("wavelet", lambda data, s, rng: WaveletSummary(data, s))
     register("qdigest", lambda data, s, rng: QDigestSummary(data, s))
-    # Sketch shards would need shared hash seeds to merge; not yet.
+    # The classic streaming q-digest [22] (1-D), deterministic and
+    # natively incremental; the stream engine's q-digest of choice.
+    register("qdigest-stream", _qdigest_stream)
+    # Sketch hash functions come from the shared default seed, so
+    # independently built shard/pane sketches merge by table addition.
     register("sketch",
-             lambda data, s, rng: DyadicSketchSummary(data, s, rng=rng),
-             mergeable=False)
+             lambda data, s, rng: DyadicSketchSummary(
+                 data, s, hash_seed=DEFAULT_HASH_SEED))
     # Ground truth, for harness uniformity ("size" is the full data).
     register("exact", lambda data, s, rng: ExactSummary(data))
 

@@ -132,7 +132,11 @@ def run_grid(
     """
     truths = ground_truths(dataset, queries)
     results: List[EvalResult] = []
-    deterministic = {"wavelet", "qdigest"}
+    # Sketches became deterministic when their hash functions moved to
+    # the shared default seed (shard/pane mergeability); repeating them
+    # would average identical builds.
+    deterministic = {"wavelet", "qdigest", "qdigest-stream", "sketch",
+                     "exact"}
     for method in methods:
         reps = 1 if method in deterministic else repeats
         for size in sizes:

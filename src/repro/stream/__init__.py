@@ -1,0 +1,34 @@
+"""Streaming ingestion subsystem.
+
+Everything needed to summarize a live feed:
+
+* :mod:`repro.stream.types` -- the :class:`MicroBatch` container.
+* :mod:`repro.stream.incremental` -- incremental builders for every
+  registry method (native streamers + the buffered-rebuild adapter)
+  and deterministic per-pane seed derivation.
+* :mod:`repro.stream.engine` -- :class:`StreamEngine`: micro-batch
+  ingestion, landmark / tumbling / sliding event-time windows built
+  from mergeable per-pane summaries, and live (batched) range-sum
+  queries.
+"""
+
+from repro.stream.engine import StreamEngine, Window, sliding, tumbling
+from repro.stream.incremental import (
+    NATIVE_STREAMERS,
+    BufferedRebuildSummary,
+    derive_seed,
+    incremental_summary,
+)
+from repro.stream.types import MicroBatch
+
+__all__ = [
+    "BufferedRebuildSummary",
+    "MicroBatch",
+    "NATIVE_STREAMERS",
+    "StreamEngine",
+    "Window",
+    "derive_seed",
+    "incremental_summary",
+    "sliding",
+    "tumbling",
+]

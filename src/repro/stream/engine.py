@@ -1,0 +1,407 @@
+"""The streaming ingestion engine: micro-batches in, live answers out.
+
+:class:`StreamEngine` consumes micro-batches from any iterable or
+generator source, routes them to one or more registered summarization
+methods (resolved through :mod:`repro.engine.registry` via
+:func:`repro.stream.incremental.incremental_summary`), and answers
+range-sum queries *live* -- over everything seen (landmark mode) or
+over tumbling / sliding event-time windows.
+
+Windows are built from the mergeable-summary protocol and nothing
+else: a window is a list of per-pane summaries, each pane ingesting
+its slice of the stream incrementally, folded with ``from_shards`` /
+``merge`` at query time.  That is the same statistical machinery as
+the sharded batch engine -- panes are time-shards -- so every fold
+keeps the Horvitz-Thompson unbiasedness of sample summaries and the
+exactness/error guarantees of the dedicated ones.
+
+Reproducibility: the engine owns a root seed and derives an
+independent child seed per (method, pane) and per fold (see
+:func:`repro.stream.incremental.derive_seed`), so two engines built
+from the same seed and fed the same stream report identical answers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.estimator import SampleSummary
+from repro.core.types import Dataset
+from repro.engine.builder import fold_merge
+from repro.stream.incremental import derive_seed, incremental_summary
+from repro.stream.types import MicroBatch
+from repro.structures.ranges import Box
+
+
+@dataclass(frozen=True)
+class Window:
+    """An event-time window policy.
+
+    ``width`` is the window length; ``pane`` the pane length (the
+    granularity at which per-pane summaries are kept and folded).
+    Batches are assigned to panes whole, by their timestamp.
+    """
+
+    kind: str  # "tumbling" | "sliding"
+    width: float
+    pane: float
+
+    def __post_init__(self):
+        if self.kind not in ("tumbling", "sliding"):
+            raise ValueError(f"unknown window kind: {self.kind!r}")
+        if self.width <= 0 or self.pane <= 0:
+            raise ValueError("window width and pane must be positive")
+        if self.pane > self.width:
+            raise ValueError("pane must not exceed the window width")
+
+    @property
+    def panes_per_window(self) -> int:
+        """Number of panes a full window folds over."""
+        return max(1, int(math.ceil(self.width / self.pane - 1e-9)))
+
+
+def tumbling(width: float) -> Window:
+    """A tumbling window: the stream is cut into [k*w, (k+1)*w) spans.
+
+    ``query_now`` covers the *current* (in-progress) window;
+    :meth:`StreamEngine.last_window` exposes the most recently
+    completed one.
+    """
+    return Window("tumbling", float(width), float(width))
+
+
+def sliding(width: float, slide: float) -> Window:
+    """A sliding window of length ``width`` advancing by ``slide``.
+
+    Implemented with the classic panes decomposition: per-``slide``
+    pane summaries, folded over the last ``ceil(width / slide)`` panes
+    at query time.  The window edge is pane-granular: the oldest pane
+    contributes whole once any part of it is inside ``(now - width,
+    now]``.
+    """
+    return Window("sliding", float(width), float(slide))
+
+
+class _Pane:
+    """One time-slice of the stream: live builders, then frozen snaps."""
+
+    __slots__ = ("index", "start", "end", "incs", "sealed", "_snap_cache")
+
+    def __init__(self, index: int, start: float, end: float, incs: Dict):
+        self.index = index
+        self.start = start
+        self.end = end  # inf for the landmark pane
+        self.incs = incs
+        self.sealed: Optional[Dict[str, object]] = None
+        self._snap_cache: Dict[str, tuple] = {}
+
+    def snapshot(self, method: str):
+        """The pane's summary for ``method`` (cached per inc version)."""
+        if self.sealed is not None:
+            return self.sealed[method]
+        inc = self.incs[method]
+        cached = self._snap_cache.get(method)
+        if cached is not None and cached[0] == inc.version:
+            return cached[1]
+        snap = inc.snapshot()
+        self._snap_cache[method] = (inc.version, snap)
+        return snap
+
+    def seal(self) -> None:
+        """Freeze every method's snapshot and drop the live builders."""
+        if self.sealed is not None:
+            return
+        self.sealed = {name: self.snapshot(name) for name in self.incs}
+        self.incs = {}
+        self._snap_cache = {}
+
+
+class StreamEngine:
+    """Live summarization of a micro-batch stream.
+
+    Parameters
+    ----------
+    domain:
+        The :class:`~repro.structures.product.ProductDomain` the
+        stream's keys live in.
+    methods:
+        One registry method name or a sequence of names; every batch is
+        routed to all of them.
+    size:
+        Per-method summary size (per pane; window folds re-aggregate
+        sample summaries back down to it).
+    window:
+        ``None`` for landmark mode (one summary over everything seen),
+        or a :func:`tumbling` / :func:`sliding` window.
+    seed:
+        Root seed for all randomness (pane samplers, fold merges);
+        engines sharing a seed and a stream are identical.
+    stale_fraction:
+        Snapshot staleness tolerated by buffered-rebuild methods (see
+        :class:`~repro.stream.incremental.BufferedRebuildSummary`).
+
+    Timestamps
+    ----------
+    Batches may carry event-time stamps (non-decreasing; out-of-order
+    batches are rejected).  Unstamped batches tick an arrival clock of
+    one time unit per batch, so window widths are then measured in
+    batches.
+    """
+
+    def __init__(
+        self,
+        domain,
+        methods: Union[str, Sequence[str]],
+        size: int,
+        *,
+        window: Optional[Window] = None,
+        seed: int = 0,
+        stale_fraction: float = 0.0,
+    ):
+        if isinstance(methods, str):
+            methods = [methods]
+        self._methods = list(methods)
+        if not self._methods:
+            raise ValueError("need at least one method")
+        self._domain = domain
+        self._size = int(size)
+        self._window = window
+        self._seed = int(seed)
+        self._stale_fraction = float(stale_fraction)
+        self._panes: List[_Pane] = []
+        self._last_completed: Optional[List[_Pane]] = None
+        self._now: Optional[float] = None
+        self._items = 0
+        self._batches = 0
+        self._fold_cache: Dict[str, tuple] = {}
+        # Fail fast on unknown names (and 1-D-only methods on 2-D
+        # domains) by building pane 0's summaries eagerly.
+        self._panes.append(self._new_pane(0))
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def process(self, batch) -> None:
+        """Ingest one micro-batch."""
+        coords, weights, ts = self._coerce(batch)
+        if ts is None:
+            ts = float(self._batches)  # arrival clock: 1 unit per batch
+        if self._now is not None and ts < self._now:
+            raise ValueError(
+                f"timestamps must be non-decreasing: {ts} after {self._now}"
+            )
+        self._now = ts
+        pane = self._pane_for(ts)
+        for inc in pane.incs.values():
+            inc.update(coords, weights)
+        self._items += weights.shape[0]
+        self._batches += 1
+
+    def ingest(self, source: Iterable, limit: Optional[int] = None) -> int:
+        """Consume micro-batches from any iterable/generator source.
+
+        Returns the number of items ingested from this call.  ``limit``
+        caps the number of batches drawn (for endless sources).
+        """
+        before = self._items
+        for count, batch in enumerate(source, start=1):
+            self.process(batch)
+            if limit is not None and count >= limit:
+                break
+        return self._items - before
+
+    def _coerce(self, batch):
+        if isinstance(batch, MicroBatch):
+            return batch.coords, batch.weights, batch.timestamp
+        if isinstance(batch, Dataset):
+            return batch.coords, batch.weights, None
+        if isinstance(batch, tuple) and len(batch) in (2, 3):
+            ts = float(batch[2]) if len(batch) == 3 else None
+            normalized = MicroBatch(batch[0], batch[1], ts)
+            return normalized.coords, normalized.weights, normalized.timestamp
+        raise TypeError(
+            "batch must be a MicroBatch, a Dataset, or a "
+            "(coords, weights[, timestamp]) tuple"
+        )
+
+    def _new_pane(self, index: int) -> _Pane:
+        if self._window is None:
+            start, end = 0.0, math.inf
+        else:
+            start = index * self._window.pane
+            end = start + self._window.pane
+        incs = {
+            name: incremental_summary(
+                name,
+                self._domain,
+                self._size,
+                seed=derive_seed(self._seed, name, index),
+                stale_fraction=self._stale_fraction,
+            )
+            for name in self._methods
+        }
+        return _Pane(index, start, end, incs)
+
+    def _pane_for(self, ts: float) -> _Pane:
+        if self._window is None:
+            return self._panes[0]
+        index = int(ts // self._window.pane)
+        current = self._panes[-1]
+        if index == current.index:
+            return current
+        # Time advanced past the current pane: seal and roll forward.
+        current.seal()
+        if self._window.kind == "tumbling":
+            # Pane == window for tumbling: the sealed pane IS the
+            # completed window -- but only when no empty windows
+            # elapsed in between (a stream gap must not leave a stale
+            # pane posing as the latest window).
+            self._last_completed = (
+                [current] if index == current.index + 1 else None
+            )
+        pane = self._new_pane(index)
+        self._panes.append(pane)
+        self._prune(ts)
+        return pane
+
+    def _prune(self, now: float) -> None:
+        """Drop panes no query over the current window can touch."""
+        if self._window is None:
+            return
+        if self._window.kind == "tumbling":
+            self._panes = self._panes[-1:]
+            return
+        horizon = now - self._window.width
+        keep = [p for p in self._panes if p.end > horizon]
+        # Cap retention at a full window of panes plus the live one.
+        max_panes = self._window.panes_per_window + 1
+        self._panes = keep[-max_panes:]
+
+    # ------------------------------------------------------------------
+    # Live queries
+    # ------------------------------------------------------------------
+    def _relevant_panes(self) -> List[_Pane]:
+        if self._window is None or self._window.kind == "tumbling":
+            return self._panes[-1:]
+        if self._now is None:
+            return self._panes[-1:]
+        horizon = self._now - self._window.width
+        return [p for p in self._panes if p.end > horizon]
+
+    def snapshot(self, method: str):
+        """The queryable summary for ``method`` over the current window.
+
+        Folds the window's per-pane snapshots with the mergeable
+        summary protocol; the fold is cached until a pane changes, so
+        repeated query batteries between batches reuse both the folded
+        summary and (through it) its sort orders.
+        """
+        if method not in self._methods:
+            raise KeyError(f"method {method!r} not registered; "
+                           f"have {self._methods}")
+        panes = self._relevant_panes()
+        state_key = tuple(
+            (pane.index, -1 if pane.sealed is not None
+             else pane.incs[method].version)
+            for pane in panes
+        )
+        cached = self._fold_cache.get(method)
+        if cached is not None and cached[0] == state_key:
+            return cached[1]
+        snaps = [pane.snapshot(method) for pane in panes]
+        folded = self._fold(method, snaps, state_key)
+        self._fold_cache[method] = (state_key, folded)
+        return folded
+
+    def _fold(self, method: str, snaps: List, state_key: tuple):
+        # Empty panes are the merge identity -- and their placeholder
+        # snapshots (an empty exact store for buffered methods) need
+        # not even share the non-empty panes' summary type, so drop
+        # them before folding.
+        non_empty = [snap for snap in snaps if getattr(snap, "size", 0) > 0]
+        if not non_empty:
+            return snaps[0]
+        if len(non_empty) == 1:
+            return non_empty[0]
+        rng = np.random.default_rng(
+            derive_seed(self._seed, "fold", method, hash(state_key))
+        )
+        if all(isinstance(snap, SampleSummary) for snap in non_empty):
+            return SampleSummary.from_shards(non_empty, s=self._size, rng=rng)
+        return fold_merge(non_empty)
+
+    def query_now(self, query) -> Dict[str, float]:
+        """Live range-sum estimates for one query, per method."""
+        out = {}
+        for method in self._methods:
+            snap = self.snapshot(method)
+            if isinstance(query, Box):
+                out[method] = float(snap.query(query))
+            else:
+                out[method] = float(snap.query_multi(query))
+        return out
+
+    def query_many_now(self, queries: Sequence) -> Dict[str, List[float]]:
+        """Live estimates for a whole query battery, per method.
+
+        Uses each folded snapshot's vectorized ``query_many``; between
+        batches both the fold and the snapshot's sort orders are
+        cached, so repeated batteries cost only the per-battery sweep.
+        """
+        queries = list(queries)
+        return {
+            method: list(self.snapshot(method).query_many(queries))
+            for method in self._methods
+        }
+
+    def last_window(self) -> Optional[Dict[str, object]]:
+        """Summaries of the most recently *completed* tumbling window.
+
+        ``None`` when no window has completed yet -- or when the most
+        recently completed window received no data (stream gap).
+        """
+        if self._window is None or self._window.kind != "tumbling":
+            raise ValueError("last_window applies to tumbling windows only")
+        if self._last_completed is None:
+            return None
+        (pane,) = self._last_completed
+        return dict(pane.sealed)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def methods(self) -> List[str]:
+        """The registered method names."""
+        return list(self._methods)
+
+    @property
+    def items_seen(self) -> int:
+        """Total items ingested."""
+        return self._items
+
+    @property
+    def batches_seen(self) -> int:
+        """Total micro-batches ingested."""
+        return self._batches
+
+    @property
+    def now(self) -> Optional[float]:
+        """The stream clock (last timestamp seen)."""
+        return self._now
+
+    @property
+    def num_panes(self) -> int:
+        """Panes currently retained."""
+        return len(self._panes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "landmark" if self._window is None else self._window.kind
+        return (
+            f"StreamEngine(methods={self._methods}, mode={mode}, "
+            f"items={self._items}, panes={len(self._panes)})"
+        )

@@ -1,0 +1,52 @@
+"""Micro-batch container for the streaming layer.
+
+The dataclass itself needs only NumPy and the shared batch-coercion
+helper.  (Importing it still runs ``repro.stream.__init__`` and hence
+the engine module, like any submodule import -- the split buys a small
+surface, not import isolation.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.summaries.base import coerce_batch
+
+
+@dataclass(frozen=True)
+class MicroBatch:
+    """One micro-batch of weighted keys, optionally timestamped.
+
+    Attributes
+    ----------
+    coords:
+        ``(n, d)`` integer coordinates of the batch's keys.
+    weights:
+        ``(n,)`` non-negative weights.
+    timestamp:
+        Event time of the batch (its latest event), used for window
+        assignment.  ``None`` means "no event time": the engine falls
+        back to arrival time (one time unit per batch).  Batches are
+        assigned to window panes whole, so emit batches that do not
+        straddle pane boundaries when exact window edges matter.
+    """
+
+    coords: np.ndarray
+    weights: np.ndarray
+    timestamp: Optional[float] = None
+
+    def __post_init__(self):
+        coords, weights = coerce_batch(self.coords, self.weights)
+        object.__setattr__(self, "coords", coords)
+        object.__setattr__(self, "weights", weights)
+
+    @property
+    def n(self) -> int:
+        """Number of items in the batch."""
+        return self.weights.shape[0]
+
+    def __len__(self) -> int:
+        return self.n

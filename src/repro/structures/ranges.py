@@ -9,7 +9,7 @@ weight of keys inside a :class:`Box` or a :class:`MultiRangeQuery`
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -266,11 +266,14 @@ def stack_boxes(boxes) -> np.ndarray:
                      highs.reshape(len(boxes), dims)), axis=2)
 
 
-def flatten_queries(queries) -> Tuple[np.ndarray, np.ndarray]:
+def flatten_queries(
+    queries: Sequence[Union[Box, MultiRangeQuery]]
+) -> Tuple[np.ndarray, np.ndarray]:
     """Flatten a battery of queries into stacked box bounds.
 
-    Accepts a sequence whose elements are :class:`Box` or
-    :class:`MultiRangeQuery`.  Returns ``(bounds, counts)`` where
+    Accepts any sequence (list, tuple, ...) whose elements are
+    :class:`Box` or :class:`MultiRangeQuery`.  Returns ``(bounds,
+    counts)`` where
     ``bounds`` is the ``(B, d, 2)`` stack of every constituent box in
     order and ``counts[i]`` is the number of boxes of query ``i``.
     """
@@ -397,11 +400,81 @@ def _sparse_pivot_sums(
     return per_box
 
 
+def prepare_sort_orders(coords: np.ndarray, values: np.ndarray) -> dict:
+    """Precompute the per-axis sort orders used by the batched kernel.
+
+    The ``O(d n log n)`` argsorts (plus the sorted coordinate/value
+    gathers and, in 1-D, the prefix sums) dominate
+    :func:`batch_query_sums` on repeated batteries over an unchanged
+    snapshot.  This captures everything that depends only on the data
+    -- not on the queries -- so a cached result leaves just the
+    per-battery ``searchsorted`` and candidate sweeps.
+    """
+    coords = np.asarray(coords)
+    if coords.ndim == 1:
+        coords = coords.reshape(-1, 1)
+    values = np.asarray(values, dtype=float)
+    if coords.shape[0] == 0 or not np.issubdtype(coords.dtype, np.integer):
+        # Float coordinates (or no data): only the dense kernel applies.
+        return {"sorted": False}
+    coords = coords.astype(np.int64, copy=False)
+    dims = coords.shape[1]
+    axes = []
+    prepared = {"sorted": True, "axes": axes}
+    for axis in range(dims):
+        order = np.argsort(coords[:, axis], kind="stable")
+        if dims == 1:
+            axes.append({"column": coords[order, 0]})
+            prepared["prefix"] = np.concatenate(
+                ([0.0], np.cumsum(values[order]))
+            )
+        else:
+            sorted_coords = coords[order]
+            axes.append({
+                "column": np.ascontiguousarray(sorted_coords[:, axis]),
+                "coords": sorted_coords,
+                "values": values[order],
+            })
+    return prepared
+
+
+class SortOrderCache:
+    """Single-slot cache of :func:`prepare_sort_orders`, keyed by version.
+
+    A summary that answers repeated query batteries over a
+    slowly-changing snapshot holds one of these and passes it -- with a
+    version counter it bumps on every data change -- to
+    :func:`batch_query_sums`.  The per-axis sorts are then computed
+    once per snapshot version instead of once per battery.  Only the
+    latest version is retained (the stream use case never queries old
+    snapshots through the same cache).
+    """
+
+    __slots__ = ("_version", "_prepared")
+
+    def __init__(self):
+        self._version = None
+        self._prepared = None
+
+    def fetch(self, version, coords: np.ndarray, values: np.ndarray) -> dict:
+        """The prepared orders for ``version``, computing on miss."""
+        if self._version != version or self._prepared is None:
+            self._prepared = prepare_sort_orders(coords, values)
+            self._version = version
+        return self._prepared
+
+    def invalidate(self) -> None:
+        """Drop the cached orders (e.g. after an in-place data change)."""
+        self._version = None
+        self._prepared = None
+
+
 def _batch_box_sums(
     bounds: np.ndarray,
     coords: np.ndarray,
     values: np.ndarray,
     chunk_elems: int,
+    prepared: Optional[dict] = None,
 ) -> np.ndarray:
     """Weighted in-box sums for a stack of boxes via sort-based sweeps.
 
@@ -415,25 +488,27 @@ def _batch_box_sums(
     magnitude less, and it never materializes a ``(B, n)`` array.
     Batteries whose boxes cover most of the data fall back to the
     dense kernel, which wins at high density.
+
+    ``prepared`` (from :func:`prepare_sort_orders`, possibly via a
+    :class:`SortOrderCache`) supplies the data-dependent sort orders so
+    repeated batteries over the same snapshot skip the re-sort.
     """
     n_boxes = bounds.shape[0]
     n, dims = coords.shape
-    if not np.issubdtype(coords.dtype, np.integer):
-        # Float coordinates: the sparse kernel's unsigned-reinterpret
-        # trick needs int64; the dense kernel compares natively.
+    if prepared is None:
+        prepared = prepare_sort_orders(coords, values)
+    if not prepared["sorted"]:
         return _dense_box_sums(bounds, coords, values, chunk_elems)
-    coords = coords.astype(np.int64, copy=False)
-    orders, lefts, rights = [], [], []
+    axes = prepared["axes"]
+    lefts, rights = [], []
     for axis in range(dims):
-        order = np.argsort(coords[:, axis], kind="stable")
-        column = coords[order, axis]
+        column = axes[axis]["column"]
         lefts.append(np.searchsorted(column, bounds[:, axis, 0], side="left"))
         rights.append(
             np.searchsorted(column, bounds[:, axis, 1], side="right")
         )
-        orders.append(order)
     if dims == 1:
-        prefix = np.concatenate(([0.0], np.cumsum(values[orders[0]])))
+        prefix = prepared["prefix"]
         return prefix[rights[0]] - prefix[lefts[0]]
     lengths_by_axis = np.stack(
         [right - left for left, right in zip(lefts, rights)]
@@ -446,11 +521,10 @@ def _batch_box_sums(
         selected = np.flatnonzero(pivot_of == pivot)
         if selected.size == 0:
             continue
-        order = orders[pivot]
         per_box[selected] = _sparse_pivot_sums(
             pivot,
-            coords[order],
-            values[order],
+            axes[pivot]["coords"],
+            axes[pivot]["values"],
             bounds[selected],
             lefts[pivot][selected],
             rights[pivot][selected],
@@ -460,10 +534,13 @@ def _batch_box_sums(
 
 
 def batch_query_sums(
-    queries,
+    queries: Sequence[Union[Box, MultiRangeQuery]],
     coords: np.ndarray,
     values: np.ndarray,
     chunk_elems: int = 4_000_000,
+    *,
+    cache: Optional[SortOrderCache] = None,
+    version: int = 0,
 ) -> np.ndarray:
     """Weighted range sums for a battery of queries in one NumPy pass.
 
@@ -479,6 +556,12 @@ def batch_query_sums(
 
     ``chunk_elems`` caps the length of the intermediate candidate
     arrays so huge batteries stay cache- and memory-friendly.
+
+    ``cache``/``version`` enable the repeated-battery fast path: pass a
+    :class:`SortOrderCache` together with a counter identifying the
+    current ``(coords, values)`` snapshot, and the data's sort orders
+    are reused across calls until the version changes.  The caller owns
+    the contract that a version uniquely identifies the snapshot.
     """
     queries = list(queries)
     q = len(queries)
@@ -503,7 +586,10 @@ def batch_query_sums(
         and isinstance(query, MultiRangeQuery)
         and not query.boxes_disjoint
     ]
-    per_box = _batch_box_sums(bounds, coords, values, chunk_elems)
+    prepared = (
+        cache.fetch(version, coords, values) if cache is not None else None
+    )
+    per_box = _batch_box_sums(bounds, coords, values, chunk_elems, prepared)
     if bool((counts == 1).all()):
         out = per_box
     else:

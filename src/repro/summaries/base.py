@@ -11,14 +11,62 @@ summary protocol*: ``a.merge(b)`` returns a summary of the union of the
 two underlying (disjoint) datasets, and ``Cls.from_shards(shards)``
 folds a list of per-shard summaries into one.  The sharded build engine
 (:mod:`repro.engine`) relies on nothing else.
+
+Summaries that can ingest a live feed implement the *incremental
+summary protocol* (:class:`IncrementalSummary`): ``update(keys,
+weights)`` absorbs a micro-batch and ``snapshot()`` freezes the current
+state into a queryable summary.  The streaming engine
+(:mod:`repro.stream`) builds windows out of nothing but these two
+calls plus ``merge``.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.structures.ranges import Box, MultiRangeQuery
+
+
+def coerce_batch(
+    keys, weights, dims: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalize one micro-batch of weighted keys.
+
+    ``keys`` may be an ``(n, d)`` coordinate array, a sequence of key
+    tuples, or a flat sequence of 1-D keys.  Returns ``(coords,
+    weights)`` with ``coords`` an ``(n, d)`` int64 array and a matching
+    float weight vector.  ``dims``, when known, validates the key
+    dimensionality.  Every implementation of
+    :meth:`IncrementalSummary.update` funnels through this one helper
+    so the (deliberately forgiving) input contract cannot drift.
+    """
+    raw = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+    weights = np.atleast_1d(np.asarray(weights, dtype=float))
+    if raw.ndim == 1:
+        # A flat sequence is ambiguous: n one-dimensional keys, or one
+        # d-dimensional key tuple.  ``dims`` decides when known; the
+        # weight count decides otherwise.  Anything else falls through
+        # to the explicit length check below rather than being
+        # reshaped into wrong-dimensional keys.
+        if dims == 1 or (dims is None and weights.shape[0] == raw.shape[0]):
+            coords = raw.reshape(-1, 1)
+        else:
+            coords = raw.reshape(1, -1)
+    elif raw.ndim == 2:
+        coords = raw
+    else:
+        raise ValueError("keys must be at most two-dimensional")
+    if coords.shape[0] != weights.shape[0]:
+        raise ValueError("keys and weights must have matching length")
+    if dims is not None and coords.shape[1] != dims:
+        raise ValueError(
+            f"dimensionality mismatch: expected {dims} axes, "
+            f"batch has {coords.shape[1]}"
+        )
+    return coords, weights
 
 
 class Summary(abc.ABC):
@@ -29,16 +77,28 @@ class Summary(abc.ABC):
     def size(self) -> int:
         """Summary footprint in elements of the original data."""
 
+    def __len__(self) -> int:
+        """Alias for :attr:`size` so summaries behave like collections."""
+        return self.size
+
     @abc.abstractmethod
     def query(self, box: Box) -> float:
         """Estimated total weight of keys inside ``box``."""
 
-    def query_multi(self, query: MultiRangeQuery) -> float:
-        """Estimated total weight inside a union of disjoint boxes."""
+    def query_multi(self, query) -> float:
+        """Estimated total weight inside a union of disjoint boxes.
+
+        Accepts a bare :class:`Box` as the one-box union.
+        """
+        if isinstance(query, Box):
+            return float(self.query(query))
         return float(sum(self.query(box) for box in query))
 
-    def query_many(self, queries: Iterable[MultiRangeQuery]) -> List[float]:
-        """Estimates for a batch of multi-range queries."""
+    def query_many(self, queries: Iterable) -> List[float]:
+        """Estimates for a batch of queries (boxes or multi-ranges).
+
+        Accepts any iterable/sequence (list, tuple, generator).
+        """
         return [self.query_multi(q) for q in queries]
 
     # ------------------------------------------------------------------
@@ -70,3 +130,41 @@ class Summary(abc.ABC):
         for shard in shards[1:]:
             merged = merged.merge(shard)
         return merged
+
+
+class IncrementalSummary(abc.ABC):
+    """The incremental (streaming) summary protocol.
+
+    An incremental summary absorbs a live feed in micro-batches and can
+    freeze its state into a queryable summary at any time:
+
+    * :meth:`update` -- ingest one micro-batch of ``(key, weight)``
+      pairs (vectorized: ``keys`` is an ``(n, d)`` coordinate array or
+      a sequence of key tuples, ``weights`` the matching floats).
+    * :meth:`snapshot` -- a queryable summary of everything ingested so
+      far.  Snapshots must be insulated from later updates: callers may
+      hold one while ingestion continues.
+    * :attr:`version` -- a counter that changes whenever ingested state
+      changes.  Consumers key snapshot/sort-order caches on it (see
+      :class:`repro.structures.ranges.SortOrderCache`), so it must
+      never repeat for distinct states of one instance.
+
+    Natively updatable structures (the VarOpt reservoir, the streaming
+    q-digest, exact stores, Count-Sketch tables) implement this
+    directly; batch-only summaries stream through the buffered-rebuild
+    adapter (:class:`repro.stream.BufferedRebuildSummary`), which
+    amortizes full rebuilds geometrically.
+    """
+
+    @abc.abstractmethod
+    def update(self, keys, weights) -> None:
+        """Ingest one micro-batch of weighted keys."""
+
+    @abc.abstractmethod
+    def snapshot(self):
+        """A queryable summary of everything ingested so far."""
+
+    @property
+    @abc.abstractmethod
+    def version(self) -> int:
+        """Counter identifying the current ingested state."""

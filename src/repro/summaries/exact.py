@@ -2,49 +2,153 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.types import Dataset
-from repro.structures.ranges import Box, MultiRangeQuery, batch_query_sums
-from repro.summaries.base import Summary
+from repro.structures.ranges import (
+    Box,
+    MultiRangeQuery,
+    SortOrderCache,
+    batch_query_sums,
+)
+from repro.summaries.base import IncrementalSummary, Summary, coerce_batch
 
 
-class ExactSummary(Summary):
+class ExactSummary(Summary, IncrementalSummary):
     """Answers every query exactly by scanning the full data.
 
     Not a summary in the compression sense -- it *is* the data -- but it
     implements the same interface so harness code can treat ground
     truth uniformly, and it provides the "query the full data" timing
     reference of Section 6.3.
+
+    Exact stores are natively incremental: :meth:`update` appends a
+    micro-batch (buffered, consolidated lazily before the next query),
+    and :meth:`snapshot` freezes the current rows.  Consolidation
+    always builds *new* arrays, so snapshots share storage with the
+    live store safely (copy-on-append semantics).
     """
 
-    def __init__(self, dataset: Dataset):
-        self._coords = dataset.coords
-        self._weights = dataset.weights
+    def __init__(self, dataset: Optional[Dataset] = None, *, dims: int = 1):
+        if dataset is not None:
+            self._coords = dataset.coords
+            self._weights = dataset.weights
+        else:
+            self._coords = np.empty((0, dims), dtype=np.int64)
+            self._weights = np.empty(0, dtype=float)
+        self._pending: List = []
+        self._pending_rows = 0
+        self._version = 0
+        self._query_cache = SortOrderCache()
 
+    @classmethod
+    def empty(cls, dims: int) -> "ExactSummary":
+        """An exact store with no rows yet (streaming entry point)."""
+        return cls(dims=dims)
+
+    @classmethod
+    def from_arrays(
+        cls, coords: np.ndarray, weights: np.ndarray
+    ) -> "ExactSummary":
+        """Wrap pre-built arrays without copying."""
+        out = cls(dims=coords.shape[1] if coords.ndim == 2 else 1)
+        out._coords = coords
+        out._weights = weights
+        return out
+
+    # ------------------------------------------------------------------
+    # Incremental protocol
+    # ------------------------------------------------------------------
+    def update(self, keys, weights) -> None:
+        """Append one micro-batch of weighted keys."""
+        coords, weights = coerce_batch(
+            keys, weights, dims=self._coords.shape[1]
+        )
+        if coords.shape[0] == 0:
+            return
+        self._pending.append((coords, weights))
+        self._pending_rows += coords.shape[0]
+        self._version += 1
+
+    def _consolidate(self) -> None:
+        """Fold buffered batches into the main arrays (new arrays)."""
+        if not self._pending:
+            return
+        self._coords = np.concatenate(
+            [self._coords] + [c for c, _w in self._pending], axis=0
+        )
+        self._weights = np.concatenate(
+            [self._weights] + [w for _c, w in self._pending]
+        )
+        self._pending = []
+        self._pending_rows = 0
+
+    def snapshot(self) -> "ExactSummary":
+        """The current rows as a frozen exact summary (shares arrays)."""
+        self._consolidate()
+        return ExactSummary.from_arrays(self._coords, self._weights)
+
+    @property
+    def version(self) -> int:
+        """Counter bumped on every :meth:`update`."""
+        return self._version
+
+    @property
+    def coords(self) -> np.ndarray:
+        """The stored ``(n, d)`` coordinates (consolidated)."""
+        self._consolidate()
+        return self._coords
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The stored weights (consolidated)."""
+        self._consolidate()
+        return self._weights
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     @property
     def size(self) -> int:
         """Number of stored keys (the full data)."""
-        return self._coords.shape[0]
+        return self._coords.shape[0] + self._pending_rows
 
     def query(self, box: Box) -> float:
         """Exact total weight inside ``box``."""
+        self._consolidate()
         mask = box.contains(self._coords)
         return float(self._weights[mask].sum())
 
     def query_multi(self, query: MultiRangeQuery) -> float:
         """Exact total weight inside a union of boxes (single scan)."""
+        self._consolidate()
         mask = query.contains(self._coords)
         return float(self._weights[mask].sum())
 
-    def query_many(self, queries: Iterable[MultiRangeQuery]) -> List[float]:
-        """Exact answers for a whole battery in one broadcasted pass."""
+    def query_many(self, queries: Sequence) -> List[float]:
+        """Exact answers for a whole battery in one broadcasted pass.
+
+        Sort orders are cached per :attr:`version`, so repeated
+        batteries over an unchanged store skip the re-sort.
+        """
+        self._consolidate()
         queries = list(queries)
         if self.size == 0:
             return [0.0] * len(queries)
-        return batch_query_sums(queries, self._coords, self._weights).tolist()
+        return batch_query_sums(
+            queries,
+            self._coords,
+            self._weights,
+            cache=self._query_cache,
+            version=self._version,
+        ).tolist()
+
+    def total_weight(self) -> float:
+        """Exact total weight of all stored keys."""
+        self._consolidate()
+        return float(self._weights.sum())
 
     def merge(self, other: "ExactSummary") -> "ExactSummary":
         """Exact merge: concatenate the stored keys of disjoint shards."""
@@ -52,15 +156,13 @@ class ExactSummary(Summary):
             raise TypeError(
                 f"cannot merge ExactSummary with {type(other).__name__}"
             )
-        merged = object.__new__(ExactSummary)
+        self._consolidate()
+        other._consolidate()
         if self.size == 0:
-            merged._coords = other._coords
-            merged._weights = other._weights
-            return merged
+            return ExactSummary.from_arrays(other._coords, other._weights)
         if other.size == 0:
-            merged._coords = self._coords
-            merged._weights = self._weights
-            return merged
-        merged._coords = np.concatenate((self._coords, other._coords), axis=0)
-        merged._weights = np.concatenate((self._weights, other._weights))
-        return merged
+            return ExactSummary.from_arrays(self._coords, self._weights)
+        return ExactSummary.from_arrays(
+            np.concatenate((self._coords, other._coords), axis=0),
+            np.concatenate((self._weights, other._weights)),
+        )

@@ -16,10 +16,17 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.structures.ranges import Box
+from repro.summaries.base import IncrementalSummary, Summary
 
 
-class StreamingQDigest:
+class StreamingQDigest(Summary, IncrementalSummary):
     """A weight-aware 1-D q-digest over ``bits``-bit integer keys.
+
+    Natively incremental *and* mergeable: :meth:`update` inserts a
+    micro-batch, :meth:`snapshot` freezes a compressed copy, and
+    :meth:`merge` adds node counts.  The structure is fully
+    deterministic (no RNG), so two digests fed the same stream with the
+    same ``compress_every`` cadence are identical.
 
     Parameters
     ----------
@@ -45,6 +52,23 @@ class StreamingQDigest:
         self._counts: Dict[int, float] = {}
         self._total = 0.0
         self._since_compress = 0
+        self._inserts = 0
+
+    @classmethod
+    def for_domain(
+        cls, domain, size: int, compress_every: int = 1024
+    ) -> "StreamingQDigest":
+        """A digest sized for a 1-D domain and a node budget.
+
+        The single sizing policy shared by the batch registry builder
+        and the stream panes, so streamed and batch-built digests stay
+        structurally identical.
+        """
+        if domain.dims != 1:
+            raise ValueError("qdigest-stream supports 1-D domains only")
+        bits = max(1, int(domain.sizes[0] - 1).bit_length())
+        return cls(bits, k=max(1, size // max(1, bits)),
+                   compress_every=compress_every)
 
     @property
     def total(self) -> float:
@@ -80,6 +104,7 @@ class StreamingQDigest:
         self._counts[leaf] = self._counts.get(leaf, 0.0) + weight
         self._total += weight
         self._since_compress += 1
+        self._inserts += 1
         if self._since_compress >= self._compress_every:
             self.compress()
 
@@ -87,6 +112,35 @@ class StreamingQDigest:
         """Insert a batch of items (still one logical insert each)."""
         for key, weight in zip(keys, weights):
             self.insert(int(key), float(weight))
+
+    # ------------------------------------------------------------------
+    # Incremental summary protocol
+    # ------------------------------------------------------------------
+    def update(self, keys, weights) -> None:
+        """Insert one micro-batch (1-D keys or an ``(n, 1)`` array)."""
+        keys = np.asarray(keys)
+        if keys.ndim == 2:
+            if keys.shape[1] != 1:
+                raise ValueError("streaming q-digest keys must be 1-D")
+            keys = keys[:, 0]
+        weights = np.atleast_1d(np.asarray(weights, dtype=float))
+        self.insert_many(np.atleast_1d(keys), weights)
+
+    def snapshot(self) -> "StreamingQDigest":
+        """A compressed copy, insulated from later inserts."""
+        clone = StreamingQDigest(
+            self._bits, self._k, compress_every=self._compress_every
+        )
+        clone._counts = dict(self._counts)
+        clone._total = self._total
+        clone._inserts = self._inserts
+        clone.compress()
+        return clone
+
+    @property
+    def version(self) -> int:
+        """Counter bumped on every insert."""
+        return self._inserts
 
     def compress(self) -> None:
         """Merge light (node, sibling) pairs into their parents."""

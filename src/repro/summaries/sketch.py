@@ -11,29 +11,57 @@ dyadic rectangles, each estimated from the sketch at its level pair.
 The total counter budget is ``s``, split evenly across the sketches --
 this is exactly why the paper finds sketches need "much larger" space
 before becoming accurate on two-dimensional data.
+
+Sketch tables are *linear* in the input: updating is vector addition,
+so sketches are natively incremental (``update``/``snapshot``) and --
+when two sketches share hash functions -- mergeable by plain table
+addition.  Shard builds and stream panes therefore derive their hash
+functions from a shared ``hash_seed`` (one seed per engine, not per
+shard), which makes ``merge`` of per-shard sketches *exactly* equal to
+a monolithic build of the union.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.types import Dataset
 from repro.structures.dyadic import dyadic_decompose_interval
 from repro.structures.ranges import Box
-from repro.summaries.base import Summary
+from repro.summaries.base import IncrementalSummary, Summary, coerce_batch
 
 _MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
 
+#: Hash seed used when the caller does not supply one; shared by every
+#: build so independently-built sketches merge by default.
+DEFAULT_HASH_SEED = 0xC0FFEE
+
 
 class CountSketch:
-    """A Count-Sketch over 64-bit integer keys."""
+    """A Count-Sketch over 64-bit integer keys.
 
-    def __init__(self, width: int, depth: int, rng: np.random.Generator):
+    ``seed`` (or a ``rng``) determines the hash functions.  Two
+    sketches merge iff their hash functions are identical, so shards of
+    one logical sketch must be built from the same seed.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        seed: Optional[int] = None,
+    ):
         if width < 1 or depth < 1:
             raise ValueError("width and depth must be >= 1")
+        if seed is not None:
+            rng = np.random.default_rng(seed)
+        elif rng is None:
+            rng = np.random.default_rng(DEFAULT_HASH_SEED)
         self.width = int(width)
         self.depth = int(depth)
         self._table = np.zeros((self.depth, self.width), dtype=float)
@@ -90,6 +118,49 @@ class CountSketch:
         """Total number of counters held."""
         return self.depth * self.width
 
+    def same_hashes(self, other: "CountSketch") -> bool:
+        """Whether the two sketches share hash functions (mergeable)."""
+        return (
+            self.width == other.width
+            and self.depth == other.depth
+            and np.array_equal(self._bucket_mul, other._bucket_mul)
+            and np.array_equal(self._bucket_add, other._bucket_add)
+            and np.array_equal(self._sign_mul, other._sign_mul)
+            and np.array_equal(self._sign_add, other._sign_add)
+        )
+
+    def copy(self) -> "CountSketch":
+        """A sketch with the same hashes and a copied table."""
+        clone = object.__new__(CountSketch)
+        clone.width = self.width
+        clone.depth = self.depth
+        clone._table = self._table.copy()
+        clone._bucket_mul = self._bucket_mul
+        clone._bucket_add = self._bucket_add
+        clone._sign_mul = self._sign_mul
+        clone._sign_add = self._sign_add
+        return clone
+
+    def merge(self, other: "CountSketch") -> "CountSketch":
+        """Merge two shared-seed sketches by table addition.
+
+        Sketch tables are linear in the input, so the merged table
+        equals the table a single sketch would hold after seeing both
+        inputs -- the merge is exact, not an approximation of one.
+        """
+        if not isinstance(other, CountSketch):
+            raise TypeError(
+                f"cannot merge CountSketch with {type(other).__name__}"
+            )
+        if not self.same_hashes(other):
+            raise ValueError(
+                "cannot merge sketches with different hash functions; "
+                "build shards from a shared hash seed"
+            )
+        merged = self.copy()
+        merged._table += other._table
+        return merged
+
 
 def _axis_bits(size: int) -> int:
     bits = int(size - 1).bit_length() if size > 1 else 1
@@ -98,24 +169,44 @@ def _axis_bits(size: int) -> int:
     return bits
 
 
-class DyadicSketchSummary(Summary):
-    """Per-dyadic-level Count-Sketches answering box range sums (1-D/2-D)."""
+class DyadicSketchSummary(Summary, IncrementalSummary):
+    """Per-dyadic-level Count-Sketches answering box range sums (1-D/2-D).
+
+    Hash functions come from ``hash_seed`` when given (the shard- and
+    stream-friendly path: every build from the same seed is mergeable
+    by table addition), from ``rng`` when only that is given (the
+    legacy independent-hashes path), and from ``DEFAULT_HASH_SEED``
+    when neither is.  Natively incremental: tables are linear, so
+    :meth:`update` is vectorized addition and :meth:`snapshot` copies
+    the tables.
+    """
 
     def __init__(
         self,
-        dataset: Dataset,
-        s: int,
+        dataset: Optional[Dataset] = None,
+        s: int = 1,
         depth: int = 3,
-        rng: np.random.Generator = None,
+        rng: Optional[np.random.Generator] = None,
+        hash_seed: Optional[int] = None,
+        *,
+        domain=None,
     ):
-        if dataset.dims not in (1, 2):
+        if dataset is None and domain is None:
+            raise ValueError("need a dataset or a domain")
+        if domain is None:
+            domain = dataset.domain
+        if domain.dims not in (1, 2):
             raise ValueError("sketch summary supports 1-D and 2-D data")
         if s < 1:
             raise ValueError("counter budget must be >= 1")
-        if rng is None:
-            rng = np.random.default_rng(0xC0FFEE)
-        self._dims = dataset.dims
-        self._bits = tuple(_axis_bits(size) for size in dataset.domain.sizes)
+        if hash_seed is None and rng is None:
+            hash_seed = DEFAULT_HASH_SEED
+        hash_rng = (
+            np.random.default_rng(hash_seed) if hash_seed is not None else rng
+        )
+        self._dims = domain.dims
+        self._bits = tuple(_axis_bits(size) for size in domain.sizes)
+        self._depth = int(depth)
         if self._dims == 1:
             level_pairs = [(dx,) for dx in range(self._bits[0] + 1)]
         else:
@@ -124,11 +215,25 @@ class DyadicSketchSummary(Summary):
                 for dx in range(self._bits[0] + 1)
                 for dy in range(self._bits[1] + 1)
             ]
-        width = max(1, s // (len(level_pairs) * depth))
+        self._width = max(1, s // (len(level_pairs) * depth))
         self._sketches: Dict[tuple, CountSketch] = {
-            pair: CountSketch(width, depth, rng) for pair in level_pairs
+            pair: CountSketch(self._width, depth, hash_rng)
+            for pair in level_pairs
         }
-        self._build(dataset)
+        self._version = 0
+        if dataset is not None:
+            self.update(dataset.coords, dataset.weights)
+
+    @classmethod
+    def for_domain(
+        cls,
+        domain,
+        s: int,
+        depth: int = 3,
+        hash_seed: int = DEFAULT_HASH_SEED,
+    ) -> "DyadicSketchSummary":
+        """An empty sketch summary over ``domain`` (streaming entry)."""
+        return cls(None, s, depth, hash_seed=hash_seed, domain=domain)
 
     def _pack(self, level_pair: tuple, coords: np.ndarray) -> np.ndarray:
         """Cell ids of points (or cells) at a dyadic level pair."""
@@ -142,11 +247,60 @@ class DyadicSketchSummary(Summary):
         ky = coords[:, 1].astype(np.uint64) >> np.uint64(self._bits[1] - dy)
         return (kx << np.uint64(32)) | ky
 
-    def _build(self, dataset: Dataset) -> None:
-        coords = dataset.coords
-        weights = dataset.weights
+    # ------------------------------------------------------------------
+    # Incremental summary protocol
+    # ------------------------------------------------------------------
+    def update(self, keys, weights) -> None:
+        """Add one micro-batch of weighted keys to every level sketch."""
+        coords, weights = coerce_batch(keys, weights, dims=self._dims)
+        if coords.shape[0] == 0:
+            return
         for pair, sketch in self._sketches.items():
             sketch.update_many(self._pack(pair, coords), weights)
+        self._version += 1
+
+    def snapshot(self) -> "DyadicSketchSummary":
+        """A table-copied clone, insulated from later updates."""
+        clone = object.__new__(DyadicSketchSummary)
+        clone._dims = self._dims
+        clone._bits = self._bits
+        clone._depth = self._depth
+        clone._width = self._width
+        clone._sketches = {
+            pair: sketch.copy() for pair, sketch in self._sketches.items()
+        }
+        clone._version = self._version
+        return clone
+
+    @property
+    def version(self) -> int:
+        """Counter bumped on every update batch."""
+        return self._version
+
+    # ------------------------------------------------------------------
+    # Mergeable summary protocol
+    # ------------------------------------------------------------------
+    def merge(self, other: "DyadicSketchSummary") -> "DyadicSketchSummary":
+        """Merge shard sketches by per-level table addition (exact)."""
+        if not isinstance(other, DyadicSketchSummary):
+            raise TypeError(
+                f"cannot merge DyadicSketchSummary with {type(other).__name__}"
+            )
+        if self._dims != other._dims or self._bits != other._bits:
+            raise ValueError("cannot merge sketches over different domains")
+        if set(self._sketches) != set(other._sketches):
+            raise ValueError("cannot merge sketches with different levels")
+        merged = object.__new__(DyadicSketchSummary)
+        merged._dims = self._dims
+        merged._bits = self._bits
+        merged._depth = self._depth
+        merged._width = self._width
+        merged._sketches = {
+            pair: sketch.merge(other._sketches[pair])
+            for pair, sketch in self._sketches.items()
+        }
+        merged._version = self._version + other._version
+        return merged
 
     @property
     def size(self) -> int:

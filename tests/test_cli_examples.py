@@ -86,6 +86,7 @@ class TestExamples:
             "stream_summarization.py",
             "confidence_intervals.py",
             "sharded_engine.py",
+            "streaming_dashboard.py",
         ],
     )
     def test_slow_examples_run(self, script):

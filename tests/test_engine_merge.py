@@ -207,14 +207,38 @@ class TestDedicatedMerges:
         box = Box((100,), (50_000,))
         assert merged.query(box) == pytest.approx(whole.query(box))
 
-    def test_base_summary_merge_unsupported(self):
+    def test_sketch_merge_requires_shared_hashes(self):
+        """Shared-seed sketches merge; independent hashes refuse."""
         data = skewed_dataset(n=100)
         from repro.summaries.sketch import DyadicSketchSummary
 
-        sketch = DyadicSketchSummary(data, 64, rng=np.random.default_rng(0))
-        assert not sketch.mergeable
+        shared_a = DyadicSketchSummary(data, 64, hash_seed=7)
+        shared_b = DyadicSketchSummary(data, 64, hash_seed=7)
+        merged = shared_a.merge(shared_b)
+        assert merged.size == shared_a.size
+        independent = DyadicSketchSummary(
+            data, 64, rng=np.random.default_rng(0)
+        )
+        assert shared_a.mergeable
+        with pytest.raises(ValueError, match="hash"):
+            shared_a.merge(independent)
+
+    def test_base_summary_merge_unsupported(self):
+        data = skewed_dataset(n=100)
+        from repro.summaries.base import Summary
+
+        class _Unmergeable(Summary):
+            @property
+            def size(self):
+                return 0
+
+            def query(self, box):
+                return 0.0
+
+        stub = _Unmergeable()
+        assert not stub.mergeable
         with pytest.raises(NotImplementedError):
-            sketch.merge(sketch)
+            stub.merge(stub)
         assert ExactSummary(data).mergeable
 
 
@@ -271,14 +295,36 @@ class TestShardingAndEngine:
     def test_build_sharded_rejects_unmergeable_method(self):
         """Non-mergeable methods fail fast, before any shard builds."""
         data = skewed_dataset(n=400)
-        assert not registry.is_mergeable("sketch")
-        with pytest.raises(ValueError, match="mergeable"):
-            build_sharded("sketch", data, 64, np.random.default_rng(0),
-                          num_shards=4)
-        # A single shard needs no merge, so it is allowed.
-        result = build_sharded("sketch", data, 64, np.random.default_rng(0),
-                               num_shards=1)
-        assert result.summary.size > 0
+        from repro.core.varopt import varopt_summary as _vs
+
+        registry.register(
+            "test-unmergeable", lambda d, s, rng: _vs(d, s, rng),
+            overwrite=True, mergeable=False,
+        )
+        try:
+            assert not registry.is_mergeable("test-unmergeable")
+            with pytest.raises(ValueError, match="mergeable"):
+                build_sharded("test-unmergeable", data, 64,
+                              np.random.default_rng(0), num_shards=4)
+            # A single shard needs no merge, so it is allowed.
+            result = build_sharded("test-unmergeable", data, 64,
+                                   np.random.default_rng(0), num_shards=1)
+            assert result.summary.size > 0
+        finally:
+            registry._REGISTRY.pop("test-unmergeable", None)
+            registry._MERGEABLE.pop("test-unmergeable", None)
+
+    def test_build_sharded_sketch_merges_exactly(self):
+        """Shared-seed shard sketches fold to the monolithic sketch."""
+        data = skewed_dataset(n=600)
+        assert registry.is_mergeable("sketch")
+        result = build_sharded("sketch", data, 256,
+                               np.random.default_rng(0), num_shards=4,
+                               parallel=False)
+        mono = registry.build("sketch", data, 256, np.random.default_rng(1))
+        box = Box((0, 0), ((1 << 15) - 1, (1 << 16) - 1))
+        # Tables are linear, so the fold is exactly the monolithic build.
+        assert result.summary.query(box) == pytest.approx(mono.query(box))
 
     def test_fold_merge_requires_input(self):
         with pytest.raises(ValueError):

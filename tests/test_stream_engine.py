@@ -1,0 +1,383 @@
+"""Streaming engine: streaming-vs-batch equivalence and reproducibility.
+
+The statistical contract mirrors the sharded engine's (panes are
+time-shards): feeding a whole dataset as micro-batches must give
+*identical* answers for the deterministic summaries (exact, q-digest,
+sketch) and statistically *unbiased* answers for sampling -- checked
+with the 50-seed harness style of ``tests/test_engine_merge.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    generate_bursty_series,
+    stream_bursty_series,
+)
+from repro.engine import registry
+from repro.stream import MicroBatch, StreamEngine, sliding, tumbling
+from repro.structures.order import OrderedDomain
+from repro.structures.product import ProductDomain
+from repro.structures.ranges import Box
+from repro.summaries.exact import ExactSummary
+from repro.summaries.qdigest import QDigestSummary
+from repro.summaries.qdigest_stream import StreamingQDigest
+
+
+def skewed_dataset(n=2000, seed=5, dims=2):
+    rng = np.random.default_rng(seed)
+    size = 1 << 16
+    coords = rng.integers(0, size, size=(n, dims))
+    weights = 1.0 + rng.pareto(1.4, size=n)
+    domain = ProductDomain([OrderedDomain(size) for _ in range(dims)])
+    from repro.core.types import Dataset
+
+    return Dataset(coords=coords, weights=weights, domain=domain)
+
+
+def feed_in_batches(engine, data, batch_size=250):
+    for start in range(0, data.n, batch_size):
+        stop = min(start + batch_size, data.n)
+        engine.process((data.coords[start:stop], data.weights[start:stop]))
+
+
+QUERY_BOXES = [
+    Box((0, 0), ((1 << 15) - 1, (1 << 16) - 1)),
+    Box((1 << 14, 1 << 14), ((1 << 16) - 1, (1 << 15) - 1)),
+    Box((0, 0), ((1 << 16) - 1, (1 << 16) - 1)),
+]
+
+
+class TestStreamingVsBatchEquivalence:
+    def test_exact_identical_to_batch(self):
+        data = skewed_dataset()
+        engine = StreamEngine(data.domain, "exact", 100, seed=0)
+        feed_in_batches(engine, data)
+        batch = ExactSummary(data)
+        streamed = engine.query_many_now(QUERY_BOXES)["exact"]
+        assert streamed == pytest.approx(batch.query_many(QUERY_BOXES))
+        assert engine.items_seen == data.n
+
+    def test_qdigest_identical_to_batch(self):
+        """The buffered-rebuild path reproduces the batch q-digest."""
+        data = skewed_dataset(n=1200)
+        engine = StreamEngine(data.domain, "qdigest", 60, seed=3)
+        feed_in_batches(engine, data)
+        batch = QDigestSummary(data, 60)
+        streamed = engine.query_many_now(QUERY_BOXES)["qdigest"]
+        assert streamed == pytest.approx(batch.query_many(QUERY_BOXES))
+
+    def test_qdigest_stream_identical_to_direct_insertion(self):
+        data = skewed_dataset(n=1500, dims=1)
+        engine = StreamEngine(data.domain, "qdigest-stream", 320, seed=1)
+        feed_in_batches(engine, data)
+        snap = engine.snapshot("qdigest-stream")
+        direct = registry.build(
+            "qdigest-stream", data, 320, np.random.default_rng(0)
+        )
+        # ``snapshot`` compresses the frozen copy; align the reference.
+        direct.compress()
+        lo, hi = 1000, 40_000
+        assert snap.size == direct.size
+        assert snap.range_sum(lo, hi) == pytest.approx(
+            direct.range_sum(lo, hi)
+        )
+        assert snap.total == pytest.approx(data.total_weight)
+
+    def test_sketch_identical_to_batch(self):
+        """Linear tables + shared hashes: streamed == monolithic."""
+        data = skewed_dataset(n=800)
+        engine = StreamEngine(data.domain, "sketch", 512, seed=9)
+        feed_in_batches(engine, data, batch_size=100)
+        batch = registry.build("sketch", data, 512, np.random.default_rng(0))
+        streamed = engine.query_many_now(QUERY_BOXES)["sketch"]
+        assert streamed == pytest.approx(batch.query_many(QUERY_BOXES))
+
+    def test_sample_unbiased_over_seeds(self):
+        """Streamed VarOpt box estimates are unbiased (50 seeds)."""
+        data = skewed_dataset()
+        box = QUERY_BOXES[0]
+        truth = float(data.weights[box.contains(data.coords)].sum())
+        estimates = []
+        for seed in range(50):
+            engine = StreamEngine(data.domain, "obliv", 120, seed=seed)
+            feed_in_batches(engine, data)
+            estimates.append(engine.query_now(box)["obliv"])
+        estimates = np.asarray(estimates)
+        sem = estimates.std(ddof=1) / np.sqrt(len(estimates))
+        assert abs(estimates.mean() - truth) <= 3.5 * sem
+
+    def test_windowed_sample_unbiased_over_seeds(self):
+        """Pane folds keep HT unbiasedness: obliv tracks windowed exact."""
+        data = skewed_dataset(n=1500, dims=1)
+        order = np.argsort(data.coords[:, 0], kind="stable")
+        coords, weights = data.coords[order], data.weights[order]
+        window = sliding(width=1 << 14, slide=1 << 12)
+
+        def feed(engine):
+            # Pane-aligned batches: slice the time axis every `slide`.
+            keys = coords[:, 0]
+            for pane_start in range(0, 1 << 16, 1 << 12):
+                lo = np.searchsorted(keys, pane_start, side="left")
+                hi = np.searchsorted(keys, pane_start + (1 << 12) - 1,
+                                     side="right")
+                if hi > lo:
+                    engine.process(MicroBatch(
+                        coords[lo:hi], weights[lo:hi],
+                        timestamp=float(keys[hi - 1]),
+                    ))
+
+        box = Box((1 << 13,), ((1 << 16) - 1,))
+        estimates, truths = [], []
+        for seed in range(50):
+            engine = StreamEngine(
+                data.domain, ["exact", "obliv"], 100,
+                window=window, seed=seed,
+            )
+            feed(engine)
+            live = engine.query_now(box)
+            estimates.append(live["obliv"])
+            truths.append(live["exact"])
+        estimates = np.asarray(estimates)
+        truth = truths[0]
+        # The exact windowed answer is seed-independent...
+        assert truths == pytest.approx([truth] * len(truths))
+        # ...and covers only the window, not the whole stream.
+        assert truth < float(weights.sum())
+        sem = max(estimates.std(ddof=1) / np.sqrt(len(estimates)), 1e-9)
+        assert abs(estimates.mean() - truth) <= 3.5 * sem + 1e-6 * truth
+
+
+class TestReproducibility:
+    def test_same_seed_same_answers(self):
+        """Two engines from one seed and one stream are identical."""
+        data = skewed_dataset(n=1000)
+        snaps = []
+        for _ in range(2):
+            engine = StreamEngine(
+                data.domain, ["obliv", "exact"], 150, seed=42
+            )
+            feed_in_batches(engine, data)
+            snaps.append(engine.snapshot("obliv"))
+        a, b = snaps
+        np.testing.assert_array_equal(a.coords, b.coords)
+        np.testing.assert_array_equal(a.weights, b.weights)
+        assert a.tau == b.tau
+
+    def test_same_seed_same_answers_windowed(self):
+        """Per-pane seed derivation reproduces across engines."""
+        data = skewed_dataset(n=1200, dims=1)
+        order = np.argsort(data.coords[:, 0], kind="stable")
+        coords, weights = data.coords[order], data.weights[order]
+
+        def build():
+            engine = StreamEngine(
+                data.domain, "obliv", 80,
+                window=sliding(width=1 << 15, slide=1 << 13), seed=7,
+            )
+            for start in range(0, coords.shape[0], 150):
+                stop = min(start + 150, coords.shape[0])
+                engine.process(MicroBatch(
+                    coords[start:stop], weights[start:stop],
+                    timestamp=float(coords[stop - 1, 0]),
+                ))
+            return engine.snapshot("obliv")
+
+        a, b = build(), build()
+        np.testing.assert_array_equal(a.coords, b.coords)
+        assert a.tau == b.tau
+
+    def test_different_seeds_differ(self):
+        data = skewed_dataset(n=1000)
+
+        def build(seed):
+            engine = StreamEngine(data.domain, "obliv", 150, seed=seed)
+            feed_in_batches(engine, data)
+            return engine.snapshot("obliv")
+
+        a, b = build(1), build(2)
+        assert not np.array_equal(a.coords, b.coords)
+
+
+class TestWindows:
+    def one_d_domain(self, size=1 << 10):
+        return ProductDomain([OrderedDomain(size)])
+
+    def batch_at(self, t, keys=(1, 2, 3), w=1.0):
+        coords = np.asarray(keys, dtype=np.int64).reshape(-1, 1)
+        return MicroBatch(coords, np.full(len(keys), w), timestamp=float(t))
+
+    def test_tumbling_resets_and_exposes_last_window(self):
+        engine = StreamEngine(
+            self.one_d_domain(), "exact", 50, window=tumbling(10.0)
+        )
+        whole = Box((0,), ((1 << 10) - 1,))
+        engine.process(self.batch_at(1.0))
+        engine.process(self.batch_at(5.0))
+        assert engine.query_now(whole)["exact"] == pytest.approx(6.0)
+        assert engine.last_window() is None
+        engine.process(self.batch_at(12.0))
+        # The new window only holds the last batch...
+        assert engine.query_now(whole)["exact"] == pytest.approx(3.0)
+        # ...and the completed one is frozen.
+        last = engine.last_window()["exact"]
+        assert last.query(whole) == pytest.approx(6.0)
+        assert engine.num_panes == 1
+
+    def test_last_window_none_after_stream_gap(self):
+        """A stale pane must not pose as the latest completed window."""
+        engine = StreamEngine(
+            self.one_d_domain(), "exact", 50, window=tumbling(10.0)
+        )
+        engine.process(self.batch_at(5.0))
+        engine.process(self.batch_at(95.0))
+        # Windows [10,20)...[80,90) completed empty: no last window.
+        assert engine.last_window() is None
+        engine.process(self.batch_at(105.0))
+        whole = Box((0,), ((1 << 10) - 1,))
+        assert engine.last_window()["exact"].query(whole) == pytest.approx(3.0)
+
+    def test_sliding_window_forgets_old_panes(self):
+        engine = StreamEngine(
+            self.one_d_domain(), "exact", 50,
+            window=sliding(width=4.0, slide=2.0),
+        )
+        whole = Box((0,), ((1 << 10) - 1,))
+        for t in (0.0, 2.0, 4.0, 6.0, 8.0):
+            engine.process(self.batch_at(t))
+        # Window (4, 8]: panes [4,6) and [6,8) and the live [8,10) pane.
+        assert engine.query_now(whole)["exact"] == pytest.approx(9.0)
+        # Retention is bounded by panes-per-window + the live pane.
+        assert engine.num_panes <= 3
+
+    def test_landmark_keeps_everything(self):
+        engine = StreamEngine(self.one_d_domain(), "exact", 50)
+        whole = Box((0,), ((1 << 10) - 1,))
+        for t in range(20):
+            engine.process(self.batch_at(float(t)))
+        assert engine.query_now(whole)["exact"] == pytest.approx(60.0)
+        assert engine.num_panes == 1
+
+    def test_out_of_order_timestamps_rejected(self):
+        engine = StreamEngine(
+            self.one_d_domain(), "exact", 50, window=tumbling(4.0)
+        )
+        engine.process(self.batch_at(5.0))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            engine.process(self.batch_at(4.0))
+
+    def test_arrival_clock_when_unstamped(self):
+        engine = StreamEngine(
+            self.one_d_domain(), "exact", 50, window=tumbling(3.0)
+        )
+        coords = np.asarray([[1]], dtype=np.int64)
+        for _ in range(7):
+            engine.process((coords, np.ones(1)))
+        assert engine.now == 6.0  # 1 unit per batch, starting at 0
+        whole = Box((0,), ((1 << 10) - 1,))
+        # Batches 6.. fall in the third tumbling window: one so far.
+        assert engine.query_now(whole)["exact"] == pytest.approx(1.0)
+
+    def test_empty_pane_with_buffered_method_folds(self):
+        """Empty panes are the merge identity, whatever their stub type.
+
+        Regression: a buffered-rebuild method's empty pane snapshots to
+        an exact-store placeholder, which must not be merged with the
+        other panes' sample summaries.
+        """
+        engine = StreamEngine(
+            self.one_d_domain(), ["varopt", "exact"], 50,
+            window=sliding(width=60.0, slide=15.0),
+        )
+        # First batch lands in pane 1; the eagerly-created pane 0 is
+        # sealed empty.
+        engine.process(self.batch_at(20.0, keys=(5, 6, 7), w=2.0))
+        whole = Box((0,), ((1 << 10) - 1,))
+        live = engine.query_now(whole)
+        assert live["exact"] == pytest.approx(6.0)
+        assert live["varopt"] == pytest.approx(6.0)
+
+    def test_last_window_requires_tumbling(self):
+        engine = StreamEngine(self.one_d_domain(), "exact", 50)
+        with pytest.raises(ValueError, match="tumbling"):
+            engine.last_window()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            sliding(width=2.0, slide=3.0)  # pane > width
+        with pytest.raises(ValueError):
+            tumbling(0.0)
+
+
+class TestEngineBasics:
+    def test_unknown_method_fails_fast(self):
+        domain = ProductDomain([OrderedDomain(16)])
+        with pytest.raises(KeyError, match="unknown method"):
+            StreamEngine(domain, "no-such-method", 10)
+
+    def test_one_d_only_method_rejects_2d_domain(self):
+        data = skewed_dataset(n=10)
+        with pytest.raises(ValueError, match="1-D"):
+            StreamEngine(data.domain, "qdigest-stream", 10)
+
+    def test_snapshot_unknown_method(self):
+        domain = ProductDomain([OrderedDomain(16)])
+        engine = StreamEngine(domain, "exact", 10)
+        with pytest.raises(KeyError):
+            engine.snapshot("obliv")
+
+    def test_ingest_limit_and_sources(self):
+        data = skewed_dataset(n=900)
+        engine = StreamEngine(data.domain, "exact", 10)
+
+        def source():
+            for start in range(0, data.n, 100):
+                yield MicroBatch(
+                    data.coords[start:start + 100],
+                    data.weights[start:start + 100],
+                )
+
+        ingested = engine.ingest(source(), limit=3)
+        assert ingested == 300
+        assert engine.batches_seen == 3
+        # A Dataset is a valid single batch too.
+        engine.ingest([data.subset(np.arange(300, 400))])
+        assert engine.items_seen == 400
+
+    def test_empty_engine_answers_zero(self):
+        domain = ProductDomain([OrderedDomain(16)])
+        engine = StreamEngine(domain, ["exact", "obliv", "qdigest"], 10)
+        box = Box((0,), (15,))
+        answers = engine.query_now(box)
+        assert answers == {"exact": 0.0, "obliv": 0.0, "qdigest": 0.0}
+
+    def test_query_now_accepts_multirange(self):
+        from repro.structures.ranges import MultiRangeQuery
+
+        domain = ProductDomain([OrderedDomain(64)])
+        engine = StreamEngine(domain, "exact", 10)
+        engine.process((np.asarray([[3], [40]]), np.asarray([2.0, 5.0])))
+        query = MultiRangeQuery([Box((0,), (7,)), Box((32,), (63,))])
+        assert engine.query_now(query)["exact"] == pytest.approx(7.0)
+
+    def test_stream_generators_window_equivalence(self):
+        """Batch-duration-aligned streams window-reproduce batch data."""
+        whole_data = generate_bursty_series(seed=11)
+        horizon = whole_data.domain.sizes[0]
+        pane = horizon // 16
+        engine = StreamEngine(
+            whole_data.domain, "exact", 10,
+            window=sliding(width=4 * pane, slide=pane),
+        )
+        engine.ingest(stream_bursty_series(seed=11, batch_duration=pane))
+        now = engine.now
+        # Pane-granular window: panes with end > now - width survive,
+        # i.e. pane indices >= floor((now - width) / pane).
+        import math
+
+        idx_min = max(0, int(math.floor((now - 4 * pane) / pane)))
+        keys = whole_data.coords[:, 0]
+        mask = keys >= np.int64(idx_min * pane)
+        truth = float(whole_data.weights[mask].sum())
+        box = Box((0,), (horizon - 1,))
+        assert engine.query_now(box)["exact"] == pytest.approx(truth)
