@@ -1,0 +1,193 @@
+"""Distributed build/serve benchmarks: multi-worker builds + serving.
+
+Three acceptance measurements for the distributed subsystem:
+
+* **build scaling**: single-process ``build_sharded`` vs 2/4/8-worker
+  ``distributed_build`` over the multiprocessing transport -- the
+  distributed path must (a) produce *identical* answers with the same
+  seed and (b) beat the single-process wall time on multi-core hosts.
+* **wire overhead**: the in-process transport runs the full
+  encode/ship/decode path with zero process cost, isolating what the
+  codec itself adds to a build.
+* **query serving**: a 1k-query battery against the folded summary
+  through the :class:`~repro.distributed.frontend.QueryFrontend`,
+  first battery (fold + sorts + sweep) vs repeat battery (cached
+  snapshot + cached sort orders).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from conftest import SMOKE, emit, emit_json, perf_assert
+from repro.datagen.network import NetworkConfig, generate_network_flows
+from repro.datagen.queries import uniform_area_queries
+from repro.distributed import QueryFrontend, distributed_build
+from repro.engine.builder import build_sharded
+
+#: Large setting: enough rows that per-shard build work dominates the
+#: shard shipping cost (acceptance criterion for multi-worker speedup).
+BUILD_CONFIG = NetworkConfig(
+    n_pairs=5_000 if SMOKE else 400_000,
+    n_sources=1_000 if SMOKE else 30_000,
+    n_dests=800 if SMOKE else 24_000,
+)
+SAMPLE_SIZE = 200 if SMOKE else 2_000
+WORKER_COUNTS = [2] if SMOKE else [2, 4, 8]
+N_QUERIES = 100 if SMOKE else 1_000
+METHODS = ["obliv", "qdigest"]
+
+
+class _StaticSupplier:
+    """Adapt one frozen summary to the frontend's supplier protocol."""
+
+    version = 0
+
+    def __init__(self, summary):
+        self._summary = summary
+
+    def snapshot(self, method):
+        return self._summary
+
+
+def _build_benchmark(data):
+    rows = []
+    records = []
+    for method in METHODS:
+        start = time.perf_counter()
+        local = build_sharded(
+            method, data, SAMPLE_SIZE, np.random.default_rng(5),
+            num_shards=4, parallel=False,
+        )
+        local_secs = time.perf_counter() - start
+        rows.append((method, "local build_sharded(4, serial)", 1,
+                     local_secs, None))
+        records.append({
+            "method": method, "mode": "local-serial",
+            "workers": 1, "size": SAMPLE_SIZE, "n": data.n,
+            "wall_time_s": local_secs,
+            "throughput_per_s": data.n / max(local_secs, 1e-12),
+        })
+        start = time.perf_counter()
+        wired = distributed_build(
+            method, data, SAMPLE_SIZE, np.random.default_rng(5),
+            num_workers=4, transport="inprocess",
+        )
+        wired_secs = time.perf_counter() - start
+        rows.append((method, "inprocess wire (codec overhead)", 4,
+                     wired_secs, None))
+        records.append({
+            "method": method, "mode": "inprocess-wire",
+            "workers": 4, "size": SAMPLE_SIZE, "n": data.n,
+            "wall_time_s": wired_secs,
+            "throughput_per_s": data.n / max(wired_secs, 1e-12),
+        })
+        best_mp = None
+        for workers in WORKER_COUNTS:
+            start = time.perf_counter()
+            dist = distributed_build(
+                method, data, SAMPLE_SIZE, np.random.default_rng(5),
+                num_workers=workers, transport="multiprocessing",
+            )
+            dist_secs = time.perf_counter() - start
+            best_mp = min(best_mp or dist_secs, dist_secs)
+            rows.append((method, "multiprocessing", workers, dist_secs,
+                         dist.retries))
+            records.append({
+                "method": method, "mode": "multiprocessing",
+                "workers": workers, "size": SAMPLE_SIZE, "n": data.n,
+                "wall_time_s": dist_secs,
+                "throughput_per_s": data.n / max(dist_secs, 1e-12),
+                "retries": dist.retries,
+            })
+            if workers == 4:
+                # Same seed => same shard seeds, builders and fold:
+                # the distributed summary must answer identically.
+                rng = np.random.default_rng(123)
+                battery = uniform_area_queries(
+                    data.domain, 20, 3, max_fraction=0.1, rng=rng
+                )
+                assert dist.summary.query_many(battery) == \
+                    local.summary.query_many(battery)
+        records.append({
+            "method": method, "mode": "speedup",
+            "size": SAMPLE_SIZE, "n": data.n,
+            "local_s": local_secs, "best_mp_s": best_mp,
+            "speedup": local_secs / max(best_mp, 1e-12),
+        })
+    return rows, records
+
+
+def _serving_benchmark(data):
+    dist = distributed_build(
+        "obliv", data, SAMPLE_SIZE, np.random.default_rng(5),
+        num_workers=4, transport="inprocess",
+    )
+    frontend = QueryFrontend(_StaticSupplier(dist.summary))
+    rng = np.random.default_rng(9)
+    battery = uniform_area_queries(
+        data.domain, N_QUERIES, 3, max_fraction=0.1, rng=rng
+    )
+    start = time.perf_counter()
+    first = frontend.query_many("obliv", battery)
+    first_secs = time.perf_counter() - start
+    start = time.perf_counter()
+    repeat = frontend.query_many("obliv", battery)
+    repeat_secs = time.perf_counter() - start
+    assert first == repeat
+    assert frontend.stats.hits == 1
+    return {
+        "n_queries": len(battery),
+        "first_secs": first_secs,
+        "repeat_secs": repeat_secs,
+        "first_qps": len(battery) / max(first_secs, 1e-12),
+        "repeat_qps": len(battery) / max(repeat_secs, 1e-12),
+    }
+
+
+def test_distributed_build(results_dir):
+    data = generate_network_flows(BUILD_CONFIG, seed=42)
+    rows, records = _build_benchmark(data)
+    serving = _serving_benchmark(data)
+    records.append({
+        "method": "obliv", "mode": "frontend-serving",
+        "size": SAMPLE_SIZE, "n_queries": serving["n_queries"],
+        "wall_time_s": serving["first_secs"],
+        "throughput_per_s": serving["first_qps"],
+        "repeat_wall_time_s": serving["repeat_secs"],
+        "repeat_throughput_per_s": serving["repeat_qps"],
+    })
+    lines = [
+        f"Distributed: shard builds over {data.n:,} flow keys "
+        f"(s={SAMPLE_SIZE}, methods={'+'.join(METHODS)})",
+    ]
+    for method, mode, workers, secs, retries in rows:
+        note = f", retries={retries}" if retries else ""
+        lines.append(
+            f"  {method:8s} {mode:32s} w={workers}: {secs:8.2f} s"
+            f" ({data.n / max(secs, 1e-12):,.0f} rows/s{note})"
+        )
+    lines += [
+        "",
+        f"Distributed: {serving['n_queries']}-query battery through "
+        "the frontend (4-worker folded sample)",
+        f"  first battery    : {serving['first_secs'] * 1e3:9.1f} ms "
+        f"({serving['first_qps']:,.0f} q/s)",
+        f"  repeat battery   : {serving['repeat_secs'] * 1e3:9.1f} ms "
+        f"({serving['repeat_qps']:,.0f} q/s, cached snapshot + sorts)",
+    ]
+    emit(results_dir, "distributed_build", "\n".join(lines))
+    emit_json(results_dir, "distributed", records)
+    # Multi-worker beats the serial single-process build wall-time on
+    # the large setting -- wherever there are cores to scale onto.
+    speedups = [r["speedup"] for r in records if r.get("mode") == "speedup"]
+    if (os.cpu_count() or 1) >= 2:
+        perf_assert(
+            all(s > 1.0 for s in speedups), f"speedups {speedups}"
+        )
+    # Serving from the cached snapshot must beat the cold battery.
+    perf_assert(
+        serving["repeat_secs"] < serving["first_secs"],
+        f"{serving['repeat_secs']} vs {serving['first_secs']}",
+    )

@@ -11,8 +11,10 @@ datasets shrink and performance/statistical expectations
 remain meaningful at toy scale.
 """
 
+import json
 import os
 import pathlib
+import platform
 
 import numpy as np
 import pytest
@@ -67,3 +69,24 @@ def emit(results_dir, name, text):
     print()
     print(text)
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(results_dir, name, records):
+    """Persist machine-readable benchmark records.
+
+    Writes ``BENCH_<name>.json`` next to the text results so the perf
+    trajectory can be tracked across PRs without parsing tables.
+    ``records`` is a list of flat dicts (method, size, wall time,
+    throughput, ...); run context (smoke flag, cpu count, platform) is
+    stamped once at the top level.
+    """
+    payload = {
+        "benchmark": name,
+        "smoke": SMOKE,
+        "cpus": os.cpu_count(),
+        "platform": platform.platform(),
+        "records": list(records),
+    }
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -68,8 +68,15 @@ from repro.stream import (
     sliding,
     tumbling,
 )
+from repro.distributed import (
+    Coordinator,
+    DistributedBuild,
+    DistributedIngest,
+    QueryFrontend,
+    distributed_build,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Dataset",
@@ -114,5 +121,10 @@ __all__ = [
     "StreamEngine",
     "sliding",
     "tumbling",
+    "Coordinator",
+    "DistributedBuild",
+    "DistributedIngest",
+    "QueryFrontend",
+    "distributed_build",
     "__version__",
 ]

@@ -360,6 +360,31 @@ class SampleSummary:
         upper = lo
         return (heavy_part + lower, heavy_part + upper)
 
+    # ------------------------------------------------------------------
+    # Wire codec hooks (repro.distributed.codec)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """The sample's full state as codec-friendly primitives.
+
+        Round-tripping through ``to_state`` / :meth:`from_state` is
+        bit-exact: the reconstructed sample answers every query
+        identically and merges identically to the original.
+        """
+        return {
+            "coords": self.coords,
+            "weights": self.weights,
+            "tau": float(self.tau),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SampleSummary":
+        """Rebuild a sample from :meth:`to_state` output."""
+        return cls(
+            coords=state["coords"],
+            weights=state["weights"],
+            tau=state["tau"],
+        )
+
     def __len__(self) -> int:
         return self.size
 

@@ -94,6 +94,9 @@ class StreamVarOpt(IncrementalSummary):
     and migrate to the light region as ``tau`` rises past them.
     """
 
+    #: Items per vectorized-prefix scan in :meth:`update`.
+    _BULK_CHUNK = 1024
+
     def __init__(self, s: int, rng=None):
         if s < 1:
             raise ValueError("sample size must be >= 1")
@@ -145,10 +148,104 @@ class StreamVarOpt(IncrementalSummary):
     # Incremental summary protocol
     # ------------------------------------------------------------------
     def update(self, keys, weights) -> None:
-        """Feed one micro-batch (an ``(n, d)`` array or key tuples)."""
+        """Feed one micro-batch (an ``(n, d)`` array or key tuples).
+
+        Vectorized bulk path: once the reservoir is full, a run of
+        items that are each *light* at their turn (weight at or below
+        the running threshold) and leave the heavy heap untouched is
+        processed in one NumPy pass -- the per-item heap work
+        disappears and only the (rare) accepted items pay Python-level
+        cost.  The bulk pass realizes exactly the same per-item
+        accept/evict distribution as :meth:`feed` (see
+        :meth:`_bulk_light_prefix`), so streamed samples remain VarOpt
+        samples; items that do not qualify fall back to :meth:`feed`
+        one at a time.
+        """
         coords, weights = coerce_batch(keys, weights)
-        for key, weight in zip(coords.tolist(), weights.tolist()):
-            self.feed(tuple(key), weight)
+        if weights.size and float(weights.min()) < 0:
+            raise ValueError("weights must be non-negative")
+        positive = weights > 0
+        if not positive.all():
+            coords = coords[positive]
+            weights = weights[positive]
+        n = weights.shape[0]
+        pos = 0
+        while pos < n:
+            if self.current_size < self._s or not self._light:
+                self.feed(tuple(coords[pos].tolist()), float(weights[pos]))
+                pos += 1
+                continue
+            # Scan a bounded chunk: a disqualifying item would otherwise
+            # make every retry re-cumsum the whole remaining batch.
+            m, taus_before, taus_after = self._bulk_light_prefix(
+                weights[pos:pos + self._BULK_CHUNK]
+            )
+            if m == 0:
+                self.feed(tuple(coords[pos].tolist()), float(weights[pos]))
+                pos += 1
+                continue
+            self._bulk_light_feed(
+                coords[pos:pos + m],
+                weights[pos:pos + m],
+                taus_before[:m],
+                taus_after[:m],
+            )
+            pos += m
+
+    def _bulk_light_prefix(self, weights: np.ndarray):
+        """Longest prefix the vectorized light path may absorb.
+
+        With the reservoir full and ``c = len(light) >= 1``, feeding an
+        item of weight ``w <= tau`` runs :meth:`_evict_one` with a pool
+        of exactly the ``c`` light items plus the new item whenever the
+        heavy-heap minimum exceeds the new threshold
+        ``tau' = tau + w/c``: the new item is the heap minimum, is
+        popped unconditionally (``w <= tau < c*tau/(c-1)``), and the
+        pop loop stops right after.  Both conditions are checked here
+        against the *running* threshold (``tau`` grows by ``w_i/c`` per
+        item while the light count stays ``c`` in every branch), so
+        every item in the returned prefix takes that exact code path.
+        """
+        c = len(self._light)
+        cum = np.cumsum(weights)
+        taus_after = self._tau + cum / c
+        taus_before = taus_after - weights / c
+        ok = weights <= taus_before
+        if self._heavy:
+            ok &= taus_after < self._heavy[0][0]
+        bad = np.flatnonzero(~ok)
+        m = int(bad[0]) if bad.size else weights.shape[0]
+        return m, taus_before, taus_after
+
+    def _bulk_light_feed(
+        self,
+        coords: np.ndarray,
+        weights: np.ndarray,
+        taus_before: np.ndarray,
+        taus_after: np.ndarray,
+    ) -> None:
+        """Absorb a qualifying run of light items in one pass.
+
+        Per item, :meth:`_evict_one` restricted to the lights-plus-new
+        pool drops the new item with probability ``1 - w/tau'`` and
+        otherwise replaces a uniformly chosen light item -- the light
+        count never changes.  Drawing all the accept coins and victim
+        indices at once therefore realizes the identical distribution
+        without touching the heap.
+        """
+        m = weights.shape[0]
+        c = len(self._light)
+        accept = self._rng.random(m) < c * (1.0 - taus_before / taus_after)
+        self._items_seen += m
+        self._tau = float(taus_after[-1])
+        accepted = np.flatnonzero(accept)
+        if accepted.size:
+            victims = self._rng.integers(0, c, size=accepted.size)
+            for index, victim in zip(accepted.tolist(), victims.tolist()):
+                self._light[victim] = (
+                    tuple(coords[index].tolist()),
+                    float(weights[index]),
+                )
 
     def snapshot(self) -> SampleSummary:
         """Freeze the reservoir into a :class:`SampleSummary`."""
@@ -216,6 +313,51 @@ class StreamVarOpt(IncrementalSummary):
         items = [(key, w0) for _w, _c, key, w0 in self._heavy]
         items.extend(self._light)
         return items
+
+    # ------------------------------------------------------------------
+    # Wire codec hooks (repro.distributed.codec)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """The live reservoir's full state as codec-friendly primitives.
+
+        Includes the generator state, so a worker can be migrated
+        mid-stream: the reconstructed sampler continues the stream with
+        exactly the eviction decisions the original would have made.
+        """
+        return {
+            "s": self._s,
+            "tau": self._tau,
+            "counter": self._counter,
+            "items_seen": self._items_seen,
+            "heavy": [
+                (w, c, tuple(key), w0) for w, c, key, w0 in self._heavy
+            ],
+            "light": [(tuple(key), w0) for key, w0 in self._light],
+            "rng": self._rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamVarOpt":
+        """Rebuild a live reservoir from :meth:`to_state` output."""
+        sampler = cls(state["s"])
+        # Honor whatever bit generator the original sampler ran on --
+        # the state dict names it (PCG64, MT19937, Philox, ...).
+        bit_generator = getattr(
+            np.random, str(state["rng"]["bit_generator"])
+        )()
+        bit_generator.state = state["rng"]
+        sampler._rng = np.random.Generator(bit_generator)
+        sampler._tau = float(state["tau"])
+        sampler._counter = int(state["counter"])
+        sampler._items_seen = int(state["items_seen"])
+        sampler._heavy = [
+            (float(w), int(c), tuple(key), float(w0))
+            for w, c, key, w0 in state["heavy"]
+        ]
+        sampler._light = [
+            (tuple(key), float(w0)) for key, w0 in state["light"]
+        ]
+        return sampler
 
     def summary(self) -> SampleSummary:
         """The current reservoir as a :class:`SampleSummary`."""

@@ -1,0 +1,73 @@
+"""Distributed build/serve subsystem.
+
+Four layers turn the in-process engine into a multi-worker system:
+
+* :mod:`repro.distributed.codec` -- versioned, compact wire codecs:
+  bit-exact summary frames (via the ``to_state``/``from_state`` hooks
+  registered next to each summary class) plus the control-message
+  format.
+* :mod:`repro.distributed.worker` -- the stateful worker runtime:
+  builds shard summaries (batch) or ingests micro-batch slices
+  (streaming) and ships serialized summaries upstream.
+* :mod:`repro.distributed.coordinator` -- schedules workers over
+  pluggable transports (in-process, multiprocessing pipes, TCP
+  sockets), retries/reassigns failed tasks, and folds what comes back
+  with the mergeable-summary protocol: :func:`distributed_build` for
+  batch, :class:`DistributedIngest` for streams.
+* :mod:`repro.distributed.frontend` -- :class:`QueryFrontend`: serves
+  range-query batteries against the latest folded state with an LRU
+  snapshot cache and per-snapshot sort-order reuse.
+"""
+
+from repro.distributed.codec import (
+    CodecError,
+    TruncatedPayloadError,
+    VersionMismatchError,
+    WIRE_VERSION,
+    decode_message,
+    encode_message,
+    from_bytes,
+    to_bytes,
+)
+from repro.distributed.coordinator import (
+    Coordinator,
+    DistributedBuild,
+    DistributedError,
+    DistributedIngest,
+    distributed_build,
+)
+from repro.distributed.frontend import FrontendStats, QueryFrontend
+from repro.distributed.transport import (
+    InProcessTransport,
+    MultiprocessingTransport,
+    TCPTransport,
+    TransportError,
+    make_transport,
+    serve_worker,
+)
+from repro.distributed.worker import WorkerRuntime
+
+__all__ = [
+    "CodecError",
+    "Coordinator",
+    "DistributedBuild",
+    "DistributedError",
+    "DistributedIngest",
+    "FrontendStats",
+    "InProcessTransport",
+    "MultiprocessingTransport",
+    "QueryFrontend",
+    "TCPTransport",
+    "TransportError",
+    "TruncatedPayloadError",
+    "VersionMismatchError",
+    "WIRE_VERSION",
+    "WorkerRuntime",
+    "decode_message",
+    "distributed_build",
+    "encode_message",
+    "from_bytes",
+    "make_transport",
+    "serve_worker",
+    "to_bytes",
+]

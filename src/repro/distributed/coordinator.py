@@ -1,0 +1,596 @@
+"""Coordinator: schedule shard builds / pane ingest across N workers.
+
+The coordinator owns a transport, ships control messages to workers,
+and folds whatever summaries come back with the existing mergeable
+protocol (``merge`` / ``from_shards``) -- the same statistical
+machinery as the in-process engine, so a distributed build is
+indistinguishable from :func:`repro.engine.builder.build_sharded`
+given the same seed (tested bit-for-bit per method).
+
+Two entry points sit on top of the generic :class:`Coordinator`:
+
+* :func:`distributed_build` -- batch: partition a dataset, build one
+  summary per shard on the workers, fold.  Failed or crashed worker
+  tasks are retried and reassigned to surviving workers.
+* :class:`DistributedIngest` -- streaming: each worker ingests the
+  micro-batch slices the coordinator routes to it (panes are
+  shard-equivalent), and ships serialized snapshots upstream on
+  demand; the coordinator folds them into the latest queryable state.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.types import Dataset
+from repro.distributed import codec
+from repro.distributed.transport import (
+    BaseTransport,
+    TransportError,
+    make_transport,
+)
+from repro.engine import registry
+from repro.engine.builder import (
+    _MAX_DEFAULT_WORKERS,
+    fold_merge,
+    fold_snapshots,
+)
+from repro.engine.shard import shard_dataset
+from repro.stream.incremental import derive_seed
+from repro.stream.types import MicroBatch
+
+
+class DistributedError(RuntimeError):
+    """A distributed operation could not be completed."""
+
+
+def _default_workers() -> int:
+    return max(1, min(os.cpu_count() or 1, _MAX_DEFAULT_WORKERS))
+
+
+class Coordinator:
+    """Generic message scheduler over a transport's worker fleet.
+
+    Parameters
+    ----------
+    transport:
+        A transport name (``"inprocess"``, ``"multiprocessing"``/
+        ``"mp"``, ``"tcp"``) or a pre-built
+        :class:`~repro.distributed.transport.BaseTransport` instance
+        (not yet started).
+    num_workers:
+        Fleet size; defaults to the available parallelism (capped
+        like the in-process engine).
+    max_retries:
+        How many times one task may be re-dispatched after a worker
+        error or death before the operation fails.
+    poll_interval:
+        Transport poll granularity in seconds.
+    timeout:
+        Overall deadline for one :meth:`run_tasks` / :meth:`gather`
+        call.
+    """
+
+    def __init__(
+        self,
+        transport: Union[str, BaseTransport] = "inprocess",
+        num_workers: Optional[int] = None,
+        *,
+        max_retries: int = 2,
+        poll_interval: float = 0.02,
+        timeout: float = 600.0,
+    ):
+        self._transport = make_transport(transport)
+        self._num_workers = num_workers or _default_workers()
+        self._max_retries = int(max_retries)
+        self._poll_interval = float(poll_interval)
+        self._timeout = float(timeout)
+        self._transport.start(self._num_workers)
+        self._closed = False
+        #: Total task re-dispatches observed (provenance/monitoring).
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def transport(self) -> BaseTransport:
+        return self._transport
+
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    def alive_workers(self) -> List[int]:
+        """Ids of workers still reachable."""
+        return [
+            worker_id
+            for worker_id in range(self._num_workers)
+            if self._transport.alive(worker_id)
+        ]
+
+    def close(self) -> None:
+        """Shut the fleet down (idempotent)."""
+        if self._closed:
+            return
+        for worker_id in self.alive_workers():
+            try:
+                self._transport.send(
+                    worker_id, codec.encode_message({"type": "shutdown"})
+                )
+            except TransportError:
+                pass
+        self._transport.stop()
+        self._closed = True
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, worker_id: int, message: dict) -> None:
+        """Ship one message to one worker (no reply expected here)."""
+        self._transport.send(worker_id, codec.encode_message(message))
+
+    def gather(
+        self,
+        expected: Union[int, Callable[[], int]],
+        *,
+        match: Optional[Callable[[dict], bool]] = None,
+        timeout: Optional[float] = None,
+    ) -> List[dict]:
+        """Collect ``expected`` matching replies from the fleet.
+
+        Non-matching replies are discarded.  ``expected`` may be a
+        callable re-evaluated every poll round, so callers that can
+        tolerate loss (snapshot collection) shrink the target as
+        workers die instead of blocking until the deadline.
+        """
+        target = expected if callable(expected) else (lambda: expected)
+        deadline = time.monotonic() + (timeout or self._timeout)
+        replies: List[dict] = []
+        while len(replies) < target():
+            if time.monotonic() > deadline:
+                raise DistributedError(
+                    f"timed out with {len(replies)}/{target()} replies"
+                )
+            for _worker_id, frame in self._transport.poll(
+                self._poll_interval
+            ):
+                message = codec.decode_message(frame)
+                if message.get("type") == "error":
+                    # Protocol-level worker errors (bad frame, version
+                    # mismatch) fail the operation loudly, not by
+                    # timeout.
+                    raise DistributedError(
+                        f"worker error: {message.get('error')}"
+                    )
+                if match is None or match(message):
+                    replies.append(message)
+            if not self.alive_workers():
+                raise DistributedError(
+                    "all workers died while gathering replies"
+                )
+        return replies
+
+    # ------------------------------------------------------------------
+    # Task scheduling with retry/reassignment
+    # ------------------------------------------------------------------
+    def run_tasks(self, tasks: Sequence[dict]) -> List[dict]:
+        """Run every task to completion; returns replies in task order.
+
+        Each task dict is shipped with an injected ``task_id`` and must
+        produce a ``result`` reply carrying it back.  A worker error
+        (``ok=False``) or death re-queues the task -- preferring a
+        *different* worker, since the idle pool is rotated -- until
+        ``max_retries`` re-dispatches are spent.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        pending = deque(range(len(tasks)))
+        results: List[Optional[dict]] = [None] * len(tasks)
+        attempts = [0] * len(tasks)
+        inflight: Dict[int, int] = {}  # task index -> worker id
+        idle = deque(self.alive_workers())
+        remaining = len(tasks)
+        deadline = time.monotonic() + self._timeout
+
+        def requeue(index: int, why: str) -> None:
+            if attempts[index] > self._max_retries:
+                raise DistributedError(
+                    f"task {index} failed after "
+                    f"{attempts[index]} attempts: {why}"
+                )
+            self.retries += 1
+            pending.append(index)
+
+        while remaining:
+            if time.monotonic() > deadline:
+                raise DistributedError(
+                    f"timed out with {remaining} tasks outstanding"
+                )
+            # Reap tasks whose worker died without answering.
+            for index, worker_id in list(inflight.items()):
+                if not self._transport.alive(worker_id):
+                    del inflight[index]
+                    requeue(index, f"worker {worker_id} died")
+            idle = deque(
+                worker_id for worker_id in idle
+                if self._transport.alive(worker_id)
+            )
+            if not inflight and not idle and pending:
+                raise DistributedError(
+                    f"no workers left with {remaining} tasks outstanding"
+                )
+            # Dispatch.
+            while pending and idle:
+                index = pending.popleft()
+                worker_id = idle.popleft()
+                attempts[index] += 1
+                try:
+                    self.send(
+                        worker_id, {**tasks[index], "task_id": index}
+                    )
+                except TransportError as exc:
+                    requeue(index, str(exc))
+                    continue
+                inflight[index] = worker_id
+            # Collect.
+            for worker_id, frame in self._transport.poll(
+                self._poll_interval
+            ):
+                message = codec.decode_message(frame)
+                if message.get("type") == "error":
+                    # A protocol-level error reply carries no task_id;
+                    # requeue whatever this worker was working on with
+                    # the real error text instead of hanging to the
+                    # deadline.
+                    for index, owner in list(inflight.items()):
+                        if owner == worker_id:
+                            del inflight[index]
+                            idle.append(worker_id)
+                            requeue(
+                                index,
+                                f"worker error: {message.get('error')}",
+                            )
+                    continue
+                if message.get("type") != "result":
+                    continue
+                index = int(message.get("task_id", -1))
+                if inflight.get(index) != worker_id:
+                    continue  # stale duplicate from a retried task
+                del inflight[index]
+                idle.append(worker_id)
+                if message.get("ok"):
+                    results[index] = message
+                    remaining -= 1
+                else:
+                    requeue(index, message.get("error", "worker error"))
+        return [reply for reply in results if reply is not None]
+
+
+# ----------------------------------------------------------------------
+# Batch: distributed shard builds
+# ----------------------------------------------------------------------
+
+@dataclass
+class DistributedBuild:
+    """Outcome of a distributed build: folded summary plus provenance."""
+
+    summary: object
+    num_workers: int
+    num_tasks: int
+    transport: str
+    shard_sizes: List[int] = field(default_factory=list)
+    retries: int = 0
+
+
+def distributed_build(
+    method: str,
+    dataset: Dataset,
+    s: int,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    num_workers: Optional[int] = None,
+    transport: Union[str, BaseTransport] = "inprocess",
+    strategy: str = "contiguous",
+    max_retries: int = 2,
+    coordinator: Optional[Coordinator] = None,
+) -> DistributedBuild:
+    """Build one summary per shard on remote workers and fold.
+
+    Deterministic parity with the in-process engine: given the same
+    ``rng`` state, shard count and strategy, the folded summary is
+    *bit-identical* to ``build_sharded``'s -- per-shard seeds are
+    drawn the same way, workers run the same registry builders, the
+    codec round trip is bit-exact, and the fold consumes the same
+    generator.  Which transport carried the bytes cannot matter.
+
+    Pass an existing ``coordinator`` to amortize fleet startup across
+    builds; otherwise a fleet is started and torn down per call.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if num_workers is None:
+        num_workers = (
+            coordinator.num_workers if coordinator is not None
+            else _default_workers()
+        )
+    shards = shard_dataset(dataset, num_workers, strategy=strategy)
+    if not shards:
+        shards = [dataset]
+    if len(shards) > 1 and not registry.is_mergeable(method):
+        raise ValueError(
+            f"method {method!r} does not build mergeable summaries; "
+            "use num_workers=1 or a mergeable method"
+        )
+    seeds = [int(seed) for seed in rng.integers(0, 2**63, size=len(shards))]
+    domain_spec = codec.encode_domain(dataset.domain)
+    tasks = [
+        {
+            "type": "build",
+            "method": method,
+            "size": int(s),
+            "seed": seed,
+            "coords": shard.coords,
+            "weights": shard.weights,
+            "domain": domain_spec,
+        }
+        for shard, seed in zip(shards, seeds)
+    ]
+    own = coordinator is None
+    coord = coordinator or Coordinator(
+        transport, num_workers, max_retries=max_retries
+    )
+    try:
+        replies = coord.run_tasks(tasks)
+        summaries = [codec.from_bytes(reply["summary"]) for reply in replies]
+    finally:
+        if own:
+            coord.close()
+    merged = fold_merge(summaries, s=s, rng=rng)
+    return DistributedBuild(
+        summary=merged,
+        num_workers=coord.num_workers,
+        num_tasks=len(tasks),
+        transport=coord.transport.name,
+        shard_sizes=[int(reply["size"]) for reply in replies],
+        retries=coord.retries,
+    )
+
+
+# ----------------------------------------------------------------------
+# Streaming: distributed micro-batch ingest
+# ----------------------------------------------------------------------
+
+class DistributedIngest:
+    """Route a micro-batch stream across workers; fold snapshots on demand.
+
+    Every worker holds one incremental summary per method (the stream
+    engine's pane machinery, seeded independently per worker via
+    :func:`~repro.stream.incremental.derive_seed`), so the per-worker
+    slices are shard-equivalent and fold with ``merge`` exactly like
+    panes do.  ``ingest`` messages are fire-and-forget for throughput;
+    :meth:`snapshot` is the barrier that collects and folds.
+
+    Ingest is **landmark-only**: snapshots always cover everything
+    dispatched so far.  Batch timestamps are accepted (stamped sources
+    plug in unchanged, exactly as with a windowless
+    :class:`~repro.stream.engine.StreamEngine`) but carry no window
+    semantics on the workers; routing ``Window`` specs through
+    ``open_stream`` is a ROADMAP follow-on.
+
+    A worker lost mid-stream loses its slice (estimates remain
+    unbiased over the surviving slices); the batch build path is the
+    one with full retry semantics.
+    """
+
+    def __init__(
+        self,
+        domain,
+        methods: Union[str, Sequence[str]],
+        size: int,
+        *,
+        num_workers: Optional[int] = None,
+        transport: Union[str, BaseTransport] = "inprocess",
+        seed: int = 0,
+        stream_id: str = "live",
+        coordinator: Optional[Coordinator] = None,
+    ):
+        if isinstance(methods, str):
+            methods = [methods]
+        self._methods = list(methods)
+        if not self._methods:
+            raise ValueError("need at least one method")
+        self._domain = domain
+        self._size = int(size)
+        self._seed = int(seed)
+        self._stream_id = stream_id
+        self._own_coordinator = coordinator is None
+        self._coordinator = coordinator or Coordinator(
+            transport, num_workers
+        )
+        self._version = 0
+        self._items = 0
+        self._next_request = 0
+        self._round_robin = 0
+        self._snap_cache: Optional[tuple] = None  # (version, {m: snaps})
+        self._fold_cache: Dict[str, tuple] = {}  # method -> (ver, folded)
+        domain_spec = codec.encode_domain(domain)
+        workers = self._coordinator.alive_workers()
+        for worker_id in workers:
+            self._coordinator.send(worker_id, {
+                "type": "open_stream",
+                "stream": stream_id,
+                "methods": self._methods,
+                "size": self._size,
+                "seed": derive_seed(self._seed, "worker", worker_id),
+                "domain": domain_spec,
+            })
+        # Shrinking target: a worker dying mid-open must not stall the
+        # constructor until the deadline (same pattern as _collect).
+        asked = set(workers)
+        opened = self._coordinator.gather(
+            lambda: len(
+                asked & set(self._coordinator.alive_workers())
+            ),
+            match=lambda m: (m.get("type") == "opened"
+                             and m.get("stream") == stream_id),
+        )
+        failed = [m for m in opened if not m.get("ok")]
+        if failed:
+            self.close()
+            raise DistributedError(
+                f"open_stream failed: {failed[0].get('error')}"
+            )
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def process(self, batch) -> None:
+        """Route one micro-batch to the next worker (round-robin).
+
+        Accepts every batch shape :class:`~repro.stream.MicroBatch`
+        coerces; timestamps ride along for source compatibility but
+        workers keep landmark (all-time) state (see the class
+        docstring).
+        """
+        batch = MicroBatch.coerce(batch)
+        workers = self._coordinator.alive_workers()
+        if not workers:
+            raise DistributedError("no live workers to ingest into")
+        worker_id = workers[self._round_robin % len(workers)]
+        self._round_robin += 1
+        self._coordinator.send(worker_id, {
+            "type": "ingest",
+            "stream": self._stream_id,
+            "coords": batch.coords,
+            "weights": batch.weights,
+        })
+        self._items += batch.n
+        self._version += 1
+
+    def dispatch(self, source, limit: Optional[int] = None) -> int:
+        """Consume micro-batches from any iterable source.
+
+        Returns the number of items dispatched from this call;
+        ``limit`` caps the number of batches drawn.
+        """
+        before = self._items
+        for count, batch in enumerate(source, start=1):
+            self.process(batch)
+            if limit is not None and count >= limit:
+                break
+        return self._items - before
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def _collect(self) -> Dict[str, list]:
+        """Per-method worker snapshots at the current version (cached)."""
+        if (
+            self._snap_cache is not None
+            and self._snap_cache[0] == self._version
+        ):
+            return self._snap_cache[1]
+        workers = self._coordinator.alive_workers()
+        if not workers:
+            raise DistributedError("no live workers to snapshot")
+        request_id = self._next_request
+        self._next_request += 1
+        for worker_id in workers:
+            self._coordinator.send(worker_id, {
+                "type": "snapshot",
+                "stream": self._stream_id,
+                "request_id": request_id,
+            })
+        # Workers that die mid-collect lose their slice: the reply
+        # target tracks the *live* fleet every poll round, so a death
+        # after the request went out shrinks the wait instead of
+        # stalling the collect until the deadline.
+        asked = set(workers)
+        replies = self._coordinator.gather(
+            lambda: len(
+                asked & set(self._coordinator.alive_workers())
+            ),
+            match=lambda m: (m.get("type") == "snapshots"
+                             and m.get("request_id") == request_id),
+        )
+        failed = [m for m in replies if not m.get("ok")]
+        if failed:
+            raise DistributedError(
+                f"snapshot failed: {failed[0].get('error')}"
+            )
+        per_method: Dict[str, list] = {name: [] for name in self._methods}
+        for reply in replies:
+            for name, frame in reply["summaries"].items():
+                per_method[name].append(codec.from_bytes(frame))
+        self._snap_cache = (self._version, per_method)
+        return per_method
+
+    def snapshot(self, method: str):
+        """The folded queryable summary for ``method`` right now."""
+        if method not in self._methods:
+            raise KeyError(
+                f"method {method!r} not registered; have {self._methods}"
+            )
+        cached = self._fold_cache.get(method)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        snaps = self._collect()[method]
+        folded = self._fold(method, snaps)
+        self._fold_cache[method] = (self._version, folded)
+        return folded
+
+    def _fold(self, method: str, snaps: list):
+        rng = np.random.default_rng(
+            derive_seed(self._seed, "fold", method, self._version)
+        )
+        return fold_snapshots(snaps, size=self._size, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Queries / introspection
+    # ------------------------------------------------------------------
+    def query_many_now(self, queries: Sequence) -> Dict[str, List[float]]:
+        """Live estimates for a query battery, per method."""
+        queries = list(queries)
+        return {
+            method: list(self.snapshot(method).query_many(queries))
+            for method in self._methods
+        }
+
+    @property
+    def methods(self) -> List[str]:
+        return list(self._methods)
+
+    @property
+    def version(self) -> int:
+        """Counter bumped per dispatched batch (snapshot cache key)."""
+        return self._version
+
+    @property
+    def items_dispatched(self) -> int:
+        return self._items
+
+    def close(self) -> None:
+        if self._own_coordinator:
+            self._coordinator.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

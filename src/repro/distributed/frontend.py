@@ -1,0 +1,147 @@
+"""Query-serving frontend over a (possibly live) summary supplier.
+
+:class:`QueryFrontend` sits between query clients and any *snapshot
+supplier* -- a :class:`~repro.distributed.coordinator.DistributedIngest`
+fleet, a local :class:`~repro.stream.engine.StreamEngine`, or anything
+else exposing ``snapshot(method)`` plus a version counter.  It answers
+large range-query batteries against the latest folded state while
+ingest continues, with two layers of reuse:
+
+* an **LRU snapshot cache** keyed by ``(method, supplier version)``:
+  while the supplier's state is unchanged, repeated batteries skip the
+  fold/collect entirely (for a distributed supplier that is the whole
+  worker round trip);
+* **sort-order reuse** through the cached summary objects themselves:
+  a retained :class:`~repro.core.estimator.SampleSummary` /
+  :class:`~repro.summaries.exact.ExactSummary` carries its own
+  :class:`~repro.structures.ranges.SortOrderCache`, so consecutive
+  batteries at one version pay the per-axis sorts once and then only
+  the sweep (the PR-2 caching machinery, now serving distributed
+  state).
+
+Keeping a handful of slots (not one) matters under interleaved
+multi-method serving: method A's battery must not evict method B's
+freshly sorted snapshot.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.structures.ranges import Box
+
+
+@dataclass
+class FrontendStats:
+    """Cache effectiveness counters (monitoring surface)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    batteries: int = 0
+    queries: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "batteries": self.batteries,
+            "queries": self.queries,
+        }
+
+
+def _supplier_version(supplier) -> int:
+    """The supplier's state version (stream engines count batches)."""
+    version = getattr(supplier, "version", None)
+    if version is None:
+        version = getattr(supplier, "batches_seen", None)
+    if version is None:
+        raise TypeError(
+            f"{type(supplier).__name__} exposes neither .version nor "
+            ".batches_seen; cannot key the snapshot cache"
+        )
+    return int(version)
+
+
+class QueryFrontend:
+    """LRU-cached range-query serving over a snapshot supplier.
+
+    Parameters
+    ----------
+    supplier:
+        Object with ``snapshot(method) -> summary`` and a ``version``
+        (or ``batches_seen``) counter that changes whenever ingested
+        state changes.
+    slots:
+        Maximum ``(method, version)`` snapshot entries retained.
+    """
+
+    def __init__(self, supplier, *, slots: int = 8):
+        if slots < 1:
+            raise ValueError("need at least one cache slot")
+        self._supplier = supplier
+        self._slots = int(slots)
+        self._cache: "OrderedDict[tuple, object]" = OrderedDict()
+        self.stats = FrontendStats()
+
+    # ------------------------------------------------------------------
+    # Snapshot cache
+    # ------------------------------------------------------------------
+    def snapshot(self, method: str):
+        """The latest folded summary for ``method`` (cached per version)."""
+        key = (method, _supplier_version(self._supplier))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        summary = self._supplier.snapshot(method)
+        self._cache[key] = summary
+        while len(self._cache) > self._slots:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return summary
+
+    def invalidate(self) -> None:
+        """Drop every cached snapshot (e.g. after supplier reset)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, method: str, query) -> float:
+        """One range-sum estimate against the latest state."""
+        snap = self.snapshot(method)
+        self.stats.queries += 1
+        if isinstance(query, Box):
+            return float(snap.query(query))
+        return float(snap.query_multi(query))
+
+    def query_many(self, method: str, queries: Sequence) -> List[float]:
+        """A whole battery against the latest state (vectorized path)."""
+        queries = list(queries)
+        snap = self.snapshot(method)
+        self.stats.batteries += 1
+        self.stats.queries += len(queries)
+        return list(snap.query_many(queries))
+
+    def serve(
+        self,
+        queries: Sequence,
+        methods: Optional[Sequence[str]] = None,
+    ) -> Dict[str, List[float]]:
+        """One battery across several methods (dashboard shape)."""
+        queries = list(queries)
+        if methods is None:
+            methods = getattr(self._supplier, "methods", None)
+            if methods is None:
+                raise ValueError(
+                    "supplier does not list methods; pass methods="
+                )
+        return {
+            method: self.query_many(method, queries) for method in methods
+        }

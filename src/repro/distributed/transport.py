@@ -1,0 +1,487 @@
+"""Pluggable coordinator<->worker transports.
+
+A transport moves opaque byte frames between the coordinator and N
+workers; everything above it (tasks, summaries, retries) is encoded by
+:mod:`repro.distributed.codec`, so the three implementations differ
+only in where the worker runs:
+
+* :class:`InProcessTransport` -- the worker runtime runs inline in the
+  coordinator process.  Zero infrastructure, fully deterministic, and
+  it still exercises the complete encode -> ship -> decode path, so
+  it is the reference transport for tests.
+* :class:`MultiprocessingTransport` -- one OS process per worker,
+  framed over :mod:`multiprocessing` pipes.  The single-host
+  production shape: builds scale with cores.
+* :class:`TCPTransport` -- workers connect to the coordinator over
+  TCP sockets (here: local worker processes dialing 127.0.0.1, but
+  the framing and handshake are host-agnostic, so the same wire works
+  across machines).
+
+Failure model: a worker that dies (process exit, closed pipe, reset
+socket) is reported dead by :meth:`BaseTransport.alive`; frames it
+never answered are the coordinator's to re-dispatch.  Transports never
+retry on their own.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import select
+import socket
+import struct
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+_LEN = struct.Struct("<I")
+
+#: Hard cap on a single frame (guards against a corrupt length header).
+MAX_FRAME_BYTES = 1 << 31
+
+
+class TransportError(RuntimeError):
+    """The transport cannot deliver frames (dead worker, closed pipe)."""
+
+
+class BaseTransport:
+    """Common surface: start N workers, send/poll frames, track deaths."""
+
+    name = "?"
+
+    def start(self, num_workers: int) -> None:
+        """Spawn/attach ``num_workers`` workers (ids ``0..n-1``)."""
+        raise NotImplementedError
+
+    def send(self, worker_id: int, frame: bytes) -> None:
+        """Ship one frame to a worker; raises :class:`TransportError`
+        if the worker is already dead."""
+        raise NotImplementedError
+
+    def poll(self, timeout: Optional[float]) -> List[Tuple[int, bytes]]:
+        """Collect ``(worker_id, frame)`` replies ready within
+        ``timeout`` seconds (0 = non-blocking).  Workers discovered
+        dead during the poll are recorded, not raised."""
+        raise NotImplementedError
+
+    def alive(self, worker_id: int) -> bool:
+        """Whether the worker is still reachable."""
+        raise NotImplementedError
+
+    @property
+    def num_workers(self) -> int:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Tear everything down (idempotent)."""
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False
+
+
+# ----------------------------------------------------------------------
+# In-process
+# ----------------------------------------------------------------------
+
+class InProcessTransport(BaseTransport):
+    """Workers run inline; frames make a full encode/decode round trip.
+
+    ``handler_factory`` builds one frame handler per worker --
+    ``handler(frame) -> reply_frame | None`` -- and defaults to a fresh
+    :class:`repro.distributed.worker.WorkerRuntime` each.  Tests inject
+    failing handlers here to exercise the coordinator's retry path
+    without real processes.
+    """
+
+    name = "inprocess"
+
+    def __init__(
+        self,
+        handler_factory: Optional[Callable[[int], Callable]] = None,
+    ):
+        self._handler_factory = handler_factory
+        self._handlers: Dict[int, Callable] = {}
+        self._inbox: deque = deque()
+        self._dead: set = set()
+        self._n = 0
+
+    def _default_factory(self, worker_id: int) -> Callable:
+        from repro.distributed.worker import WorkerRuntime
+
+        runtime = WorkerRuntime()
+
+        def handle(frame: bytes) -> Optional[bytes]:
+            reply, stop = runtime.handle_frame(frame)
+            if stop:
+                raise TransportError("worker exited")
+            return reply
+
+        return handle
+
+    def start(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        factory = self._handler_factory or self._default_factory
+        self._handlers = {k: factory(k) for k in range(num_workers)}
+        self._n = num_workers
+
+    def send(self, worker_id: int, frame: bytes) -> None:
+        if worker_id in self._dead:
+            raise TransportError(f"worker {worker_id} is dead")
+        try:
+            reply = self._handlers[worker_id](frame)
+        except TransportError:
+            self._dead.add(worker_id)
+            return
+        except Exception:
+            # A handler that escapes the worker runtime's own error
+            # wrapping is the in-process analogue of a crashed process.
+            self._dead.add(worker_id)
+            return
+        if reply is not None:
+            self._inbox.append((worker_id, reply))
+
+    def poll(self, timeout: Optional[float]) -> List[Tuple[int, bytes]]:
+        ready = list(self._inbox)
+        self._inbox.clear()
+        return ready
+
+    def alive(self, worker_id: int) -> bool:
+        return worker_id < self._n and worker_id not in self._dead
+
+    @property
+    def num_workers(self) -> int:
+        return self._n
+
+    def stop(self) -> None:
+        self._handlers = {}
+        self._inbox.clear()
+
+
+# ----------------------------------------------------------------------
+# Multiprocessing pipes
+# ----------------------------------------------------------------------
+
+def _pipe_worker_main(conn) -> None:
+    """Worker process entry: frames in, frames out, exit on EOF."""
+    from repro.distributed.worker import WorkerRuntime
+
+    runtime = WorkerRuntime()
+    while True:
+        try:
+            frame = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        reply, stop = runtime.handle_frame(frame)
+        if reply is not None:
+            try:
+                conn.send_bytes(reply)
+            except (BrokenPipeError, OSError):
+                break
+        if stop:
+            break
+    conn.close()
+
+
+class MultiprocessingTransport(BaseTransport):
+    """One process per worker, length-framed over multiprocessing pipes."""
+
+    name = "multiprocessing"
+
+    def __init__(self):
+        self._conns: Dict[int, multiprocessing.connection.Connection] = {}
+        self._procs: Dict[int, multiprocessing.Process] = {}
+        self._dead: set = set()
+        self._n = 0
+
+    def start(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        ctx = multiprocessing.get_context()
+        for worker_id in range(num_workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_pipe_worker_main, args=(child,), daemon=True
+            )
+            proc.start()
+            child.close()
+            self._conns[worker_id] = parent
+            self._procs[worker_id] = proc
+        self._n = num_workers
+
+    def send(self, worker_id: int, frame: bytes) -> None:
+        if not self.alive(worker_id):
+            raise TransportError(f"worker {worker_id} is dead")
+        try:
+            self._conns[worker_id].send_bytes(frame)
+        except (BrokenPipeError, OSError) as exc:
+            self._dead.add(worker_id)
+            raise TransportError(
+                f"worker {worker_id} pipe broken: {exc}"
+            ) from exc
+
+    def poll(self, timeout: Optional[float]) -> List[Tuple[int, bytes]]:
+        conns = {
+            conn: worker_id
+            for worker_id, conn in self._conns.items()
+            if worker_id not in self._dead
+        }
+        if not conns:
+            return []
+        ready = multiprocessing.connection.wait(
+            list(conns), timeout=timeout
+        )
+        frames: List[Tuple[int, bytes]] = []
+        for conn in ready:
+            worker_id = conns[conn]
+            try:
+                frames.append((worker_id, conn.recv_bytes()))
+            except (EOFError, OSError):
+                self._dead.add(worker_id)
+        return frames
+
+    def alive(self, worker_id: int) -> bool:
+        if worker_id in self._dead:
+            return False
+        proc = self._procs.get(worker_id)
+        if proc is None:
+            return False
+        if not proc.is_alive():
+            # Exited processes may still have undrained pipe data; only
+            # declare death once the pipe has nothing more to give.
+            conn = self._conns[worker_id]
+            if not conn.poll(0):
+                self._dead.add(worker_id)
+                return False
+        return True
+
+    @property
+    def num_workers(self) -> int:
+        return self._n
+
+    def stop(self) -> None:
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs.values():
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        self._conns = {}
+        self._procs = {}
+
+
+# ----------------------------------------------------------------------
+# TCP sockets
+# ----------------------------------------------------------------------
+
+def _read_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise EOFError("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> bytes:
+    """Read one length-prefixed frame from a socket."""
+    (length,) = _LEN.unpack(_read_exact(sock, _LEN.size))
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(f"frame of {length} bytes exceeds the cap")
+    return _read_exact(sock, length)
+
+
+def write_frame(sock: socket.socket, frame: bytes) -> None:
+    """Write one length-prefixed frame to a socket."""
+    sock.sendall(_LEN.pack(len(frame)) + frame)
+
+
+def _tcp_worker_main(host: str, port: int) -> None:
+    """Worker process entry: dial the coordinator and serve frames."""
+    from repro.distributed.worker import WorkerRuntime
+
+    sock = socket.create_connection((host, port))
+    runtime = WorkerRuntime()
+    try:
+        while True:
+            try:
+                frame = read_frame(sock)
+            except (EOFError, OSError):
+                break
+            reply, stop = runtime.handle_frame(frame)
+            if reply is not None:
+                try:
+                    write_frame(sock, reply)
+                except OSError:
+                    break
+            if stop:
+                break
+    finally:
+        sock.close()
+
+
+class TCPTransport(BaseTransport):
+    """Workers dial the coordinator over TCP (multi-host-shaped).
+
+    The coordinator listens on ``host:port`` (an ephemeral local port
+    by default) and, when ``spawn_local`` is true, launches one local
+    worker process per slot that connects back in.  With
+    ``spawn_local=False`` it only listens: point real remote workers
+    (:func:`serve_worker`) at the advertised address.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        spawn_local: bool = True,
+        accept_timeout: float = 30.0,
+    ):
+        self._host = host
+        self._port = port
+        self._spawn_local = spawn_local
+        self._accept_timeout = accept_timeout
+        self._listener: Optional[socket.socket] = None
+        self._socks: Dict[int, socket.socket] = {}
+        self._procs: Dict[int, multiprocessing.Process] = {}
+        self._dead: set = set()
+        self._n = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The (host, port) workers should dial."""
+        if self._listener is None:
+            raise TransportError("transport not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self._host, self._port))
+        self._listener.listen(num_workers)
+        self._listener.settimeout(self._accept_timeout)
+        host, port = self.address
+        if self._spawn_local:
+            ctx = multiprocessing.get_context()
+            for worker_id in range(num_workers):
+                proc = ctx.Process(
+                    target=_tcp_worker_main, args=(host, port), daemon=True
+                )
+                proc.start()
+                self._procs[worker_id] = proc
+        for worker_id in range(num_workers):
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                self.stop()
+                raise TransportError(
+                    f"worker {worker_id} never connected"
+                ) from None
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._socks[worker_id] = sock
+        self._n = num_workers
+
+    def send(self, worker_id: int, frame: bytes) -> None:
+        if not self.alive(worker_id):
+            raise TransportError(f"worker {worker_id} is dead")
+        try:
+            write_frame(self._socks[worker_id], frame)
+        except OSError as exc:
+            self._dead.add(worker_id)
+            raise TransportError(
+                f"worker {worker_id} socket broken: {exc}"
+            ) from exc
+
+    def poll(self, timeout: Optional[float]) -> List[Tuple[int, bytes]]:
+        socks = {
+            sock: worker_id
+            for worker_id, sock in self._socks.items()
+            if worker_id not in self._dead
+        }
+        if not socks:
+            return []
+        ready, _, _ = select.select(list(socks), [], [], timeout)
+        frames: List[Tuple[int, bytes]] = []
+        for sock in ready:
+            worker_id = socks[sock]
+            try:
+                frames.append((worker_id, read_frame(sock)))
+            except (EOFError, OSError, TransportError):
+                self._dead.add(worker_id)
+        return frames
+
+    def alive(self, worker_id: int) -> bool:
+        return (
+            worker_id in self._socks and worker_id not in self._dead
+        )
+
+    @property
+    def num_workers(self) -> int:
+        return self._n
+
+    def stop(self) -> None:
+        for sock in self._socks.values():
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        for proc in self._procs.values():
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        self._socks = {}
+        self._procs = {}
+
+
+def serve_worker(host: str, port: int) -> None:
+    """Run one worker against a remote coordinator (blocking).
+
+    The multi-host entry point: start the coordinator with
+    ``TCPTransport(host, port, spawn_local=False)`` and run this on
+    each worker machine.
+    """
+    _tcp_worker_main(host, port)
+
+
+#: Transport name -> factory, the coordinator's lookup table.
+TRANSPORTS: Dict[str, Callable[[], BaseTransport]] = {
+    "inprocess": InProcessTransport,
+    "multiprocessing": MultiprocessingTransport,
+    "mp": MultiprocessingTransport,
+    "tcp": TCPTransport,
+}
+
+
+def make_transport(spec) -> BaseTransport:
+    """Resolve a transport spec (name or instance) to an instance."""
+    if isinstance(spec, BaseTransport):
+        return spec
+    try:
+        return TRANSPORTS[spec]()
+    except KeyError:
+        raise KeyError(
+            f"unknown transport {spec!r}; have {sorted(set(TRANSPORTS))}"
+        ) from None

@@ -59,6 +59,38 @@ def fold_merge(
     return merged
 
 
+def fold_snapshots(
+    snapshots: Sequence,
+    *,
+    size: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Fold per-pane / per-worker snapshots into one queryable summary.
+
+    The shared fold used by the stream engine's window folds and the
+    distributed coordinator's snapshot collection.  Empty snapshots
+    are the merge identity -- and their placeholders (an empty exact
+    store for buffered methods) need not even share the non-empty
+    snapshots' summary type -- so they are dropped before folding; an
+    all-empty fold returns the first snapshot unchanged.  Sample
+    summaries fold with the size-targeted merge (re-aggregated down to
+    ``size`` keys).
+    """
+    snapshots = list(snapshots)
+    if not snapshots:
+        raise ValueError("nothing to fold")
+    non_empty = [
+        snap for snap in snapshots if getattr(snap, "size", 0) > 0
+    ]
+    if not non_empty:
+        return snapshots[0]
+    if len(non_empty) == 1:
+        return non_empty[0]
+    if all(isinstance(snap, SampleSummary) for snap in non_empty):
+        return SampleSummary.from_shards(non_empty, s=size, rng=rng)
+    return fold_merge(non_empty)
+
+
 @dataclass
 class ShardedBuild:
     """Outcome of a sharded build: the folded summary plus provenance."""

@@ -23,6 +23,10 @@ Builder = Callable[[Dataset, int, np.random.Generator], object]
 
 _REGISTRY: Dict[str, Builder] = {}
 _MERGEABLE: Dict[str, bool] = {}
+# Wire codecs: stable tag <-> summary class, used by the distributed
+# subsystem to frame summaries for transport (repro.distributed.codec).
+_CODEC_CLASSES: Dict[str, type] = {}
+_CODEC_TAGS: Dict[type, str] = {}
 
 #: Read-only live view of the registry (what the harness exposes as
 #: ``METHODS``).
@@ -78,6 +82,58 @@ def available() -> List[str]:
     return sorted(_REGISTRY)
 
 
+# ----------------------------------------------------------------------
+# Wire-codec registration (summary serialization for repro.distributed)
+# ----------------------------------------------------------------------
+
+def register_codec(tag: str, cls: type, *, overwrite: bool = False) -> None:
+    """Register a summary class under a stable wire tag.
+
+    The class must implement the codec hooks ``to_state()`` /
+    ``from_state(state)`` (bit-exact round trip).  The tag is what goes
+    on the wire, so it must stay stable across versions and processes.
+    """
+    if not overwrite and tag in _CODEC_CLASSES:
+        raise KeyError(f"codec tag {tag!r} is already registered")
+    if not hasattr(cls, "to_state") or not hasattr(cls, "from_state"):
+        raise TypeError(
+            f"{cls.__name__} lacks the to_state/from_state codec hooks"
+        )
+    _CODEC_CLASSES[tag] = cls
+    _CODEC_TAGS[cls] = tag
+
+
+def codec_class(tag: str) -> type:
+    """The summary class registered under a wire tag."""
+    try:
+        return _CODEC_CLASSES[tag]
+    except KeyError:
+        raise KeyError(
+            f"unknown codec tag {tag!r}; have {codecs_available()}"
+        ) from None
+
+
+def codec_tag(summary) -> str:
+    """The wire tag of a summary instance (or class).
+
+    Looks up the *exact* type -- a subclass with different state must
+    register its own tag.
+    """
+    cls = summary if isinstance(summary, type) else type(summary)
+    try:
+        return _CODEC_TAGS[cls]
+    except KeyError:
+        raise KeyError(
+            f"no codec registered for {cls.__name__}; "
+            f"have {codecs_available()}"
+        ) from None
+
+
+def codecs_available() -> List[str]:
+    """Sorted wire tags of all registered codecs."""
+    return sorted(_CODEC_CLASSES)
+
+
 def build(
     name: str, dataset: Dataset, size: int, rng: np.random.Generator
 ):
@@ -125,6 +181,20 @@ def _register_defaults() -> None:
                  data, s, hash_seed=DEFAULT_HASH_SEED))
     # Ground truth, for harness uniformity ("size" is the full data).
     register("exact", lambda data, s, rng: ExactSummary(data))
+
+    # Wire codecs: one stable tag per summary class the repo ships.
+    # Every sampling method (aware, obliv, varopt, poisson, ...) builds
+    # a SampleSummary, so one "sample" codec covers them all.
+    from repro.core.estimator import SampleSummary
+    from repro.core.varopt import StreamVarOpt
+
+    register_codec("sample", SampleSummary)
+    register_codec("varopt-reservoir", StreamVarOpt)
+    register_codec("exact", ExactSummary)
+    register_codec("qdigest", QDigestSummary)
+    register_codec("qdigest-stream", StreamingQDigest)
+    register_codec("wavelet", WaveletSummary)
+    register_codec("sketch", DyadicSketchSummary)
 
 
 _register_defaults()

@@ -29,9 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.estimator import SampleSummary
-from repro.core.types import Dataset
-from repro.engine.builder import fold_merge
+from repro.engine.builder import fold_snapshots
 from repro.stream.incremental import derive_seed, incremental_summary
 from repro.stream.types import MicroBatch
 from repro.structures.ranges import Box
@@ -143,13 +141,25 @@ class StreamEngine:
     stale_fraction:
         Snapshot staleness tolerated by buffered-rebuild methods (see
         :class:`~repro.stream.incremental.BufferedRebuildSummary`).
+    on_pane_sealed:
+        Optional hand-off hook ``(pane_index, {method: summary})``
+        invoked whenever a pane is sealed (the stream clock left it
+        for good).  Sealed summaries are frozen and mergeable, so the
+        hook is the natural shipping point for distributed pane
+        aggregation: serialize them with
+        :func:`repro.distributed.codec.to_bytes` and fold upstream.
+        A pane that received no data seals with empty summaries.
 
     Timestamps
     ----------
     Batches may carry event-time stamps (non-decreasing; out-of-order
     batches are rejected).  Unstamped batches tick an arrival clock of
     one time unit per batch, so window widths are then measured in
-    batches.
+    batches.  A windowed batch with *per-item* timestamps
+    (:attr:`~repro.stream.types.MicroBatch.timestamps`) that straddles
+    a pane boundary is split at the boundary, so window edges are
+    item-granular; with only a batch-level stamp it is assigned to its
+    pane whole.
     """
 
     def __init__(
@@ -161,6 +171,7 @@ class StreamEngine:
         window: Optional[Window] = None,
         seed: int = 0,
         stale_fraction: float = 0.0,
+        on_pane_sealed=None,
     ):
         if isinstance(methods, str):
             methods = [methods]
@@ -172,6 +183,7 @@ class StreamEngine:
         self._window = window
         self._seed = int(seed)
         self._stale_fraction = float(stale_fraction)
+        self._on_pane_sealed = on_pane_sealed
         self._panes: List[_Pane] = []
         self._last_completed: Optional[List[_Pane]] = None
         self._now: Optional[float] = None
@@ -186,8 +198,20 @@ class StreamEngine:
     # Ingestion
     # ------------------------------------------------------------------
     def process(self, batch) -> None:
-        """Ingest one micro-batch."""
-        coords, weights, ts = self._coerce(batch)
+        """Ingest one micro-batch.
+
+        A windowed batch carrying per-item timestamps is split at pane
+        boundaries (each slice lands in its own pane); otherwise the
+        batch is assigned to one pane by its batch timestamp.
+        """
+        coords, weights, ts, item_ts = self._coerce(batch)
+        if (
+            item_ts is not None
+            and self._window is not None
+            and item_ts.size
+        ):
+            self._process_split(coords, weights, item_ts)
+            return
         if ts is None:
             ts = float(self._batches)  # arrival clock: 1 unit per batch
         if self._now is not None and ts < self._now:
@@ -199,6 +223,40 @@ class StreamEngine:
         for inc in pane.incs.values():
             inc.update(coords, weights)
         self._items += weights.shape[0]
+        self._batches += 1
+
+    def _process_split(
+        self,
+        coords: np.ndarray,
+        weights: np.ndarray,
+        item_ts: np.ndarray,
+    ) -> None:
+        """Route one per-item-stamped batch, slicing at pane boundaries.
+
+        Items are grouped into runs that share a pane (stamps are
+        non-decreasing, so runs are contiguous) and each run updates
+        its own pane -- the pane roll/seal machinery sees exactly the
+        sequence of events it would have seen had the source emitted
+        pane-aligned batches in the first place.
+        """
+        if self._now is not None and float(item_ts[0]) < self._now:
+            raise ValueError(
+                f"timestamps must be non-decreasing: {float(item_ts[0])} "
+                f"after {self._now}"
+            )
+        pane_index = np.floor_divide(
+            item_ts, self._window.pane
+        ).astype(np.int64)
+        boundaries = np.flatnonzero(np.diff(pane_index)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [pane_index.shape[0]]))
+        for start, end in zip(starts, ends):
+            run_ts = float(item_ts[end - 1])
+            self._now = run_ts
+            pane = self._pane_for(run_ts)
+            for inc in pane.incs.values():
+                inc.update(coords[start:end], weights[start:end])
+            self._items += end - start
         self._batches += 1
 
     def ingest(self, source: Iterable, limit: Optional[int] = None) -> int:
@@ -215,18 +273,9 @@ class StreamEngine:
         return self._items - before
 
     def _coerce(self, batch):
-        if isinstance(batch, MicroBatch):
-            return batch.coords, batch.weights, batch.timestamp
-        if isinstance(batch, Dataset):
-            return batch.coords, batch.weights, None
-        if isinstance(batch, tuple) and len(batch) in (2, 3):
-            ts = float(batch[2]) if len(batch) == 3 else None
-            normalized = MicroBatch(batch[0], batch[1], ts)
-            return normalized.coords, normalized.weights, normalized.timestamp
-        raise TypeError(
-            "batch must be a MicroBatch, a Dataset, or a "
-            "(coords, weights[, timestamp]) tuple"
-        )
+        normalized = MicroBatch.coerce(batch)
+        return (normalized.coords, normalized.weights,
+                normalized.timestamp, normalized.timestamps)
 
     def _new_pane(self, index: int) -> _Pane:
         if self._window is None:
@@ -255,6 +304,8 @@ class StreamEngine:
             return current
         # Time advanced past the current pane: seal and roll forward.
         current.seal()
+        if self._on_pane_sealed is not None:
+            self._on_pane_sealed(current.index, dict(current.sealed))
         if self._window.kind == "tumbling":
             # Pane == window for tumbling: the sealed pane IS the
             # completed window -- but only when no empty windows
@@ -318,21 +369,10 @@ class StreamEngine:
         return folded
 
     def _fold(self, method: str, snaps: List, state_key: tuple):
-        # Empty panes are the merge identity -- and their placeholder
-        # snapshots (an empty exact store for buffered methods) need
-        # not even share the non-empty panes' summary type, so drop
-        # them before folding.
-        non_empty = [snap for snap in snaps if getattr(snap, "size", 0) > 0]
-        if not non_empty:
-            return snaps[0]
-        if len(non_empty) == 1:
-            return non_empty[0]
         rng = np.random.default_rng(
             derive_seed(self._seed, "fold", method, hash(state_key))
         )
-        if all(isinstance(snap, SampleSummary) for snap in non_empty):
-            return SampleSummary.from_shards(non_empty, s=self._size, rng=rng)
-        return fold_merge(non_empty)
+        return fold_snapshots(snaps, size=self._size, rng=rng)
 
     def query_now(self, query) -> Dict[str, float]:
         """Live range-sum estimates for one query, per method."""

@@ -29,19 +29,67 @@ class MicroBatch:
     timestamp:
         Event time of the batch (its latest event), used for window
         assignment.  ``None`` means "no event time": the engine falls
-        back to arrival time (one time unit per batch).  Batches are
-        assigned to window panes whole, so emit batches that do not
-        straddle pane boundaries when exact window edges matter.
+        back to arrival time (one time unit per batch).  A batch with
+        only a batch-level timestamp is assigned to a window pane
+        whole.
+    timestamps:
+        Optional per-item event times (``(n,)``, non-decreasing).
+        When present, the engine splits a batch that straddles a pane
+        boundary at the boundary instead of assigning it wholesale, so
+        window edges are item-granular.  ``timestamp`` defaults to the
+        last entry.
     """
 
     coords: np.ndarray
     weights: np.ndarray
     timestamp: Optional[float] = None
+    timestamps: Optional[np.ndarray] = None
 
     def __post_init__(self):
         coords, weights = coerce_batch(self.coords, self.weights)
         object.__setattr__(self, "coords", coords)
         object.__setattr__(self, "weights", weights)
+        if self.timestamps is not None:
+            stamps = np.atleast_1d(
+                np.asarray(self.timestamps, dtype=float)
+            )
+            if stamps.shape[0] != weights.shape[0]:
+                raise ValueError(
+                    "timestamps and weights must have matching length"
+                )
+            if stamps.size > 1 and np.any(np.diff(stamps) < 0):
+                raise ValueError(
+                    "per-item timestamps must be non-decreasing"
+                )
+            object.__setattr__(self, "timestamps", stamps)
+            if self.timestamp is None and stamps.size:
+                object.__setattr__(
+                    self, "timestamp", float(stamps[-1])
+                )
+
+    @classmethod
+    def coerce(cls, batch) -> "MicroBatch":
+        """Normalize any accepted batch shape to a :class:`MicroBatch`.
+
+        Accepts a ``MicroBatch`` (returned as-is), a
+        :class:`~repro.core.types.Dataset` (no event time), or a
+        ``(coords, weights[, timestamp])`` tuple.  The single
+        batch-shape contract shared by the stream engine and the
+        distributed ingest path.
+        """
+        from repro.core.types import Dataset
+
+        if isinstance(batch, cls):
+            return batch
+        if isinstance(batch, Dataset):
+            return cls(batch.coords, batch.weights)
+        if isinstance(batch, tuple) and len(batch) in (2, 3):
+            ts = float(batch[2]) if len(batch) == 3 else None
+            return cls(batch[0], batch[1], ts)
+        raise TypeError(
+            "batch must be a MicroBatch, a Dataset, or a "
+            "(coords, weights[, timestamp]) tuple"
+        )
 
     @property
     def n(self) -> int:

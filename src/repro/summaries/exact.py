@@ -150,6 +150,19 @@ class ExactSummary(Summary, IncrementalSummary):
         self._consolidate()
         return float(self._weights.sum())
 
+    # ------------------------------------------------------------------
+    # Wire codec hooks (repro.distributed.codec)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """The consolidated rows as codec-friendly primitives."""
+        self._consolidate()
+        return {"coords": self._coords, "weights": self._weights}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ExactSummary":
+        """Rebuild an exact store from :meth:`to_state` output."""
+        return cls.from_arrays(state["coords"], state["weights"])
+
     def merge(self, other: "ExactSummary") -> "ExactSummary":
         """Exact merge: concatenate the stored keys of disjoint shards."""
         if not isinstance(other, ExactSummary):

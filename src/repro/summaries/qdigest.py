@@ -247,6 +247,47 @@ class QDigestSummary(Summary):
         merged._volumes = np.concatenate((self._volumes, other._volumes))
         return merged
 
+    # ------------------------------------------------------------------
+    # Wire codec hooks (repro.distributed.codec)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """The materialized leaves as codec-friendly primitives."""
+        n = len(self._boxes)
+        box_lows = np.asarray(
+            [box.lows for box in self._boxes], dtype=np.int64
+        ).reshape(n, self._dims)
+        box_highs = np.asarray(
+            [box.highs for box in self._boxes], dtype=np.int64
+        ).reshape(n, self._dims)
+        return {
+            "partial": self._partial,
+            "dims": self._dims,
+            "box_lows": box_lows,
+            "box_highs": box_highs,
+            "weights": self._weights,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QDigestSummary":
+        """Rebuild a q-digest from :meth:`to_state` output."""
+        digest = object.__new__(cls)
+        digest._partial = state["partial"]
+        digest._dims = int(state["dims"])
+        box_lows = state["box_lows"]
+        box_highs = state["box_highs"]
+        digest._boxes = [
+            Box(tuple(int(v) for v in lo), tuple(int(v) for v in hi))
+            for lo, hi in zip(box_lows, box_highs)
+        ]
+        digest._weights = np.asarray(state["weights"], dtype=float)
+        n = len(digest._boxes)
+        digest._lows = box_lows.astype(float).reshape(n, digest._dims)
+        digest._highs = box_highs.astype(float).reshape(n, digest._dims)
+        digest._volumes = np.prod(
+            digest._highs - digest._lows + 1.0, axis=1
+        )
+        return digest
+
     def query_bounds(self, box: Box):
         """Deterministic (lower, upper) bounds on the true range sum."""
         q_lows = np.asarray(box.lows, dtype=float)

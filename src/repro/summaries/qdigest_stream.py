@@ -199,6 +199,48 @@ class StreamingQDigest(Summary, IncrementalSummary):
         merged.compress()
         return merged
 
+    # ------------------------------------------------------------------
+    # Wire codec hooks (repro.distributed.codec)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """The sparse node tree as codec-friendly primitives.
+
+        ``since_compress`` is included so a round-tripped digest fires
+        its next compression at exactly the same insert as the
+        original (the structure is deterministic end to end).
+        """
+        nodes = np.fromiter(self._counts.keys(), dtype=np.int64,
+                            count=len(self._counts))
+        counts = np.fromiter(self._counts.values(), dtype=float,
+                             count=len(self._counts))
+        return {
+            "bits": self._bits,
+            "k": self._k,
+            "compress_every": self._compress_every,
+            "nodes": nodes,
+            "counts": counts,
+            "total": self._total,
+            "since_compress": self._since_compress,
+            "inserts": self._inserts,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingQDigest":
+        """Rebuild a streaming q-digest from :meth:`to_state` output."""
+        digest = cls(
+            int(state["bits"]),
+            int(state["k"]),
+            compress_every=int(state["compress_every"]),
+        )
+        digest._counts = {
+            int(node): float(count)
+            for node, count in zip(state["nodes"], state["counts"])
+        }
+        digest._total = float(state["total"])
+        digest._since_compress = int(state["since_compress"])
+        digest._inserts = int(state["inserts"])
+        return digest
+
     def range_sum(self, lo: int, hi: int) -> float:
         """Estimated weight of keys in ``[lo, hi]``.
 

@@ -161,6 +161,34 @@ class CountSketch:
         merged._table += other._table
         return merged
 
+    # ------------------------------------------------------------------
+    # Wire codec hooks (repro.distributed.codec)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Table plus hash parameters as codec-friendly primitives."""
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "table": self._table,
+            "bucket_mul": self._bucket_mul,
+            "bucket_add": self._bucket_add,
+            "sign_mul": self._sign_mul,
+            "sign_add": self._sign_add,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CountSketch":
+        """Rebuild a sketch from :meth:`to_state` output."""
+        sketch = object.__new__(cls)
+        sketch.width = int(state["width"])
+        sketch.depth = int(state["depth"])
+        sketch._table = np.asarray(state["table"], dtype=float)
+        sketch._bucket_mul = np.asarray(state["bucket_mul"], dtype=np.uint64)
+        sketch._bucket_add = np.asarray(state["bucket_add"], dtype=np.uint64)
+        sketch._sign_mul = np.asarray(state["sign_mul"], dtype=np.uint64)
+        sketch._sign_add = np.asarray(state["sign_add"], dtype=np.uint64)
+        return sketch
+
 
 def _axis_bits(size: int) -> int:
     bits = int(size - 1).bit_length() if size > 1 else 1
@@ -301,6 +329,38 @@ class DyadicSketchSummary(Summary, IncrementalSummary):
         }
         merged._version = self._version + other._version
         return merged
+
+    # ------------------------------------------------------------------
+    # Wire codec hooks (repro.distributed.codec)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Every level sketch's state as codec-friendly primitives."""
+        return {
+            "dims": self._dims,
+            "bits": self._bits,
+            "depth": self._depth,
+            "width": self._width,
+            "version": self._version,
+            "sketches": {
+                pair: sketch.to_state()
+                for pair, sketch in self._sketches.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DyadicSketchSummary":
+        """Rebuild a dyadic sketch summary from :meth:`to_state` output."""
+        summary = object.__new__(cls)
+        summary._dims = int(state["dims"])
+        summary._bits = tuple(int(b) for b in state["bits"])
+        summary._depth = int(state["depth"])
+        summary._width = int(state["width"])
+        summary._version = int(state["version"])
+        summary._sketches = {
+            tuple(int(level) for level in pair): CountSketch.from_state(sk)
+            for pair, sk in state["sketches"].items()
+        }
+        return summary
 
     @property
     def size(self) -> int:

@@ -257,6 +257,41 @@ class WaveletSummary(Summary):
         return merged
 
     # ------------------------------------------------------------------
+    # Wire codec hooks (repro.distributed.codec)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """The retained coefficients as codec-friendly primitives."""
+        state = {
+            "dims": self._dims,
+            "bits": self._bits,
+            "budget": self._budget,
+            "computed": self.coefficients_computed,
+            "lx": self._lx,
+            "ix": self._ix,
+            "c": self._c,
+        }
+        if self._dims == 2:
+            state["ly"] = self._ly
+            state["iy"] = self._iy
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "WaveletSummary":
+        """Rebuild a wavelet summary from :meth:`to_state` output."""
+        summary = object.__new__(cls)
+        summary._dims = int(state["dims"])
+        summary._bits = tuple(int(b) for b in state["bits"])
+        summary._budget = int(state["budget"])
+        summary.coefficients_computed = int(state["computed"])
+        summary._lx = np.asarray(state["lx"], dtype=np.int64)
+        summary._ix = np.asarray(state["ix"], dtype=np.int64)
+        summary._c = np.asarray(state["c"], dtype=float)
+        if summary._dims == 2:
+            summary._ly = np.asarray(state["ly"], dtype=np.int64)
+            summary._iy = np.asarray(state["iy"], dtype=np.int64)
+        return summary
+
+    # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
     @property

@@ -70,6 +70,15 @@ class TestExactIncremental:
 
 class TestStreamVarOptIncremental:
     def test_update_matches_feed(self):
+        """``update`` and per-item ``feed`` build the same VarOpt sample.
+
+        The vectorized bulk path consumes the generator in batches, so
+        the two reservoirs realize different (equally valid) inclusion
+        draws -- but every *sample-path-deterministic* property of
+        VarOpt must agree exactly: the threshold (the offline tau of
+        the prefix), the sample size, and exact retention of every
+        above-threshold item.
+        """
         data = skewed_dataset(n=400)
         a = StreamVarOpt(60, rng=123)
         b = StreamVarOpt(60, rng=123)
@@ -77,9 +86,43 @@ class TestStreamVarOptIncremental:
         for key, weight in data.iter_items():
             b.feed(key, weight)
         sa, sb = a.snapshot(), b.snapshot()
-        np.testing.assert_array_equal(sa.coords, sb.coords)
-        assert sa.tau == sb.tau
+        # Identical up to float summation order (cumsum vs running sum).
+        assert sa.tau == pytest.approx(sb.tau, rel=1e-12)
+        assert sa.size == sb.size == 60
         assert a.version == b.version == data.n
+        # Heavy items (weight >= tau) are included deterministically,
+        # with their exact weights, by both paths.
+        heavy = {
+            key: weight
+            for key, weight in data.iter_items()
+            if weight >= sa.tau
+        }
+        for summary in (sa, sb):
+            kept = dict(
+                zip(map(tuple, summary.coords.tolist()),
+                    summary.weights.tolist())
+            )
+            for key, weight in heavy.items():
+                assert kept[key] == weight
+
+    def test_update_bulk_path_unbiased(self):
+        """The bulk light path keeps subset-sum estimates unbiased."""
+        data = skewed_dataset(n=1500, seed=11, dims=1)
+        box = Box((0,), ((1 << 16) // 3,))
+        truth = float(data.weights[box.contains(data.coords)].sum())
+        estimates = []
+        for seed in range(60):
+            sampler = StreamVarOpt(80, rng=seed)
+            # Micro-batches exercise full/partial bulk prefixes.
+            for start in range(0, data.n, 250):
+                sampler.update(
+                    data.coords[start:start + 250],
+                    data.weights[start:start + 250],
+                )
+            estimates.append(sampler.snapshot().query(box))
+        estimates = np.asarray(estimates)
+        sem = estimates.std(ddof=1) / np.sqrt(len(estimates))
+        assert abs(estimates.mean() - truth) <= 3.5 * sem
 
     def test_snapshot_is_sample_summary(self):
         sampler = StreamVarOpt(10, rng=0)
