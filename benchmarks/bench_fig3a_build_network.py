@@ -6,7 +6,7 @@ in 2-D; the 2-D wavelet transform is the slowest by far (every point
 touches log X * log Y coefficients).
 """
 
-from conftest import emit, perf_assert
+from conftest import emit, emit_json, figure_records, perf_assert
 from repro.experiments.figures import fig3a
 from repro.experiments.report import render_figure
 
@@ -19,6 +19,13 @@ def test_fig3a(benchmark, network_data, results_dir):
     )
     text = render_figure(result)
     emit(results_dir, "fig3a", text)
+    emit_json(
+        results_dir,
+        "fig3a",
+        figure_records(
+            result, "items_per_second", extra={"n": network_data.n}
+        ),
+    )
     series = result.series
     assert set(series) == {"aware", "obliv", "wavelet", "qdigest", "sketch"}
     obliv = dict(series["obliv"])

@@ -5,7 +5,7 @@ this data generating and using samples takes seconds while wavelets
 take hours (tens of millions of coefficients before thresholding).
 """
 
-from conftest import emit, perf_assert
+from conftest import emit, emit_json, figure_records, perf_assert
 from repro.experiments.figures import fig3b
 from repro.experiments.report import render_figure
 
@@ -18,6 +18,13 @@ def test_fig3b(benchmark, tickets_data, results_dir):
     )
     text = render_figure(result)
     emit(results_dir, "fig3b", text)
+    emit_json(
+        results_dir,
+        "fig3b",
+        figure_records(
+            result, "items_per_second", extra={"n": tickets_data.n}
+        ),
+    )
     obliv = dict(result.series["obliv"])
     wavelet = dict(result.series["wavelet"])
     perf_assert(min(obliv.values()) > max(wavelet.values()))

@@ -6,7 +6,7 @@ decomposition times coefficient lookups); querying the full data costs
 the most per battery.
 """
 
-from conftest import SMOKE, emit, perf_assert
+from conftest import SMOKE, emit, emit_json, figure_records, perf_assert
 from repro.experiments.figures import fig3c
 from repro.experiments.report import render_figure
 
@@ -23,6 +23,15 @@ def test_fig3c(benchmark, network_data, results_dir):
     )
     text = render_figure(result)
     emit(results_dir, "fig3c", text)
+    emit_json(
+        results_dir,
+        "fig3c",
+        figure_records(
+            result,
+            "wall_time_s",
+            extra={"n_rectangles": PARAMS["n_rectangles"]},
+        ),
+    )
     aware = dict(result.series["aware"])
     obliv = dict(result.series["obliv"])
     # Samples answer queries in comparable time (same representation).

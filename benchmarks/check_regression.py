@@ -1,0 +1,171 @@
+"""Benchmark regression gate: fresh BENCH_*.json vs committed baselines.
+
+Usage (what the CI ``bench-regression`` job runs)::
+
+    BENCH_SMOKE=1 BENCH_RESULTS_DIR=/tmp/bench-fresh pytest bench_*.py
+    python check_regression.py --baseline results/smoke \
+        --fresh /tmp/bench-fresh
+
+Records are matched across the two directories by benchmark name plus
+every non-measurement field (method, mode, series, sizes, ...).  Each
+matched record yields a slowdown ratio -- ``wall_time_s`` directly, or
+the inverse of a throughput field (``items_per_second`` /
+``throughput_per_s``) when no wall time was recorded.  Because the
+baselines were committed from a different machine, the ratios are
+*calibrated*: the median ratio across all compared records is treated
+as the machine-speed difference, and a record fails only when its
+calibrated ratio exceeds ``--max-ratio`` (default 2x) -- a uniformly
+slower runner shifts every ratio equally and fails nothing, while one
+kernel regressing ahead of the pack still trips the gate.  Records
+whose *baseline* time is below ``--min-seconds`` are skipped
+(throughput records use ``n / throughput`` as their implied wall time
+when an ``n`` field is present): a sub-floor smoke timing is
+scheduler noise, not a kernel measurement, and cannot be gated
+reliably.  Records present on only one side are reported but never
+fail the gate (benchmarks may be added or retired).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, Tuple
+
+#: Measurement fields: excluded from record identity, compared instead.
+MEASUREMENT_KEYS = frozenset({
+    "wall_time_s",
+    "wall_time_scalar_s",
+    "uncached_wall_time_s",
+    "repeat_wall_time_s",
+    "throughput_per_s",
+    "repeat_throughput_per_s",
+    "items_per_second",
+    "speedup",
+})
+
+#: Throughput fields accepted when a record carries no wall time
+#: (higher is better; the gate compares their inverse).
+THROUGHPUT_KEYS = ("items_per_second", "throughput_per_s")
+
+
+def record_identity(benchmark: str, record: dict) -> Tuple:
+    """Stable identity of one record: all non-measurement fields."""
+    fields = tuple(
+        sorted(
+            (key, repr(value))
+            for key, value in record.items()
+            if key not in MEASUREMENT_KEYS
+        )
+    )
+    return (benchmark,) + fields
+
+
+def record_time(record: dict) -> float:
+    """A record's wall time, implied from throughput if necessary.
+
+    Returns seconds (lower is better) or ``nan`` when the record
+    carries no comparable measurement.  Throughput-only records use
+    ``n / throughput`` when the record names its item count, else
+    ``1 / throughput`` (arbitrary but consistent across runs, so the
+    ratio is still the slowdown).
+    """
+    if "wall_time_s" in record:
+        return float(record["wall_time_s"])
+    for key in THROUGHPUT_KEYS:
+        if key in record and float(record[key]) > 0:
+            items = float(record.get("n", 1.0))
+            return items / float(record[key])
+    return float("nan")
+
+
+def load_records(directory: pathlib.Path) -> Dict[Tuple, float]:
+    """Map record identity -> (implied) wall time, over BENCH_*.json."""
+    records: Dict[Tuple, float] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text())
+        for record in payload.get("records", []):
+            seconds = record_time(record)
+            if seconds != seconds:  # nan: nothing comparable
+                continue
+            key = record_identity(payload.get("benchmark", path.stem), record)
+            records[key] = seconds
+    return records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=pathlib.Path,
+                        help="directory of committed baseline BENCH_*.json")
+    parser.add_argument("--fresh", required=True, type=pathlib.Path,
+                        help="directory of freshly generated BENCH_*.json")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when the calibrated slowdown exceeds this")
+    parser.add_argument("--min-seconds", type=float, default=0.02,
+                        help="skip records whose baseline is below this")
+    parser.add_argument("--no-calibrate", action="store_true",
+                        help="compare raw ratios (same-machine baselines)")
+    args = parser.parse_args(argv)
+
+    baseline = load_records(args.baseline)
+    fresh = load_records(args.fresh)
+    if not baseline:
+        print(f"no baseline records under {args.baseline}; nothing to gate")
+        return 0
+    if not fresh:
+        print(f"ERROR: no fresh records under {args.fresh}")
+        return 2
+
+    compared = []
+    skipped = 0
+    for key, base_time in sorted(baseline.items()):
+        if key not in fresh:
+            print(f"  [only-baseline] {key[0]}: {dict(key[1:])}")
+            continue
+        new_time = fresh[key]
+        if base_time < args.min_seconds:
+            # A sub-floor baseline cannot be gated: its ratio is
+            # scheduler noise, not a kernel measurement.
+            skipped += 1
+            continue
+        compared.append((key, base_time, new_time,
+                         new_time / max(base_time, 1e-12)))
+    for key in sorted(set(fresh) - set(baseline)):
+        print(f"  [only-fresh] {key[0]}: {dict(key[1:])}")
+
+    # Machine-speed calibration: the median ratio is the fleet-wide
+    # shift between the baseline machine and this one; regressions are
+    # judged relative to it.
+    calibration = 1.0
+    if compared and not args.no_calibrate:
+        ratios = sorted(ratio for _k, _b, _n, ratio in compared)
+        calibration = ratios[len(ratios) // 2]
+    failures = []
+    for key, base_time, new_time, ratio in compared:
+        adjusted = ratio / max(calibration, 1e-12)
+        status = "FAIL" if adjusted > args.max_ratio else "ok"
+        print(
+            f"  [{status}] {key[0]} {dict(key[1:])}: "
+            f"{base_time:.4f}s -> {new_time:.4f}s "
+            f"({ratio:.2f}x raw, {adjusted:.2f}x calibrated)"
+        )
+        if adjusted > args.max_ratio:
+            failures.append((key, adjusted))
+
+    print(
+        f"compared {len(compared)} records (calibration {calibration:.2f}x),"
+        f" skipped {skipped} below {args.min_seconds}s,"
+        f" {len(failures)} regressions"
+    )
+    if failures:
+        print("REGRESSIONS (> {:.1f}x calibrated slowdown):".format(
+            args.max_ratio))
+        for key, adjusted in failures:
+            print(f"  {key[0]} {dict(key[1:])}: {adjusted:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

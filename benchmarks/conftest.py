@@ -58,9 +58,19 @@ def tickets_data():
 
 @pytest.fixture(scope="session")
 def results_dir():
-    """Directory where figure tables are written."""
-    path = pathlib.Path(__file__).parent / "results"
-    path.mkdir(exist_ok=True)
+    """Directory where figure tables are written.
+
+    ``BENCH_RESULTS_DIR`` overrides the default ``benchmarks/results``
+    -- the bench-regression CI job points fresh smoke runs at a scratch
+    directory so the committed baselines stay comparable.
+    """
+    override = os.environ.get("BENCH_RESULTS_DIR", "")
+    path = (
+        pathlib.Path(override)
+        if override
+        else pathlib.Path(__file__).parent / "results"
+    )
+    path.mkdir(parents=True, exist_ok=True)
     return path
 
 
@@ -90,3 +100,21 @@ def emit_json(results_dir, name, records):
     path = results_dir / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def figure_records(result, value_key="value", extra=None):
+    """Flatten a :class:`FigureResult` into ``emit_json`` records.
+
+    One flat dict per (series, x) point; ``value_key`` names the y
+    value (e.g. ``items_per_second`` for build figures,
+    ``wall_time_s`` for query timings) so the regression checker knows
+    which way is better.
+    """
+    records = []
+    for name, points in sorted(result.series.items()):
+        for x, y in points:
+            record = {"series": name, "x": x, value_key: y}
+            if extra:
+                record.update(extra)
+            records.append(record)
+    return records

@@ -27,6 +27,11 @@ from repro.core.aggregation import (
     included_indices,
     is_set,
 )
+from repro.core.chain import (
+    chain_aggregate,
+    run_starts,
+    segmented_chain_aggregate,
+)
 from repro.core.estimator import SampleSummary
 from repro.core.ipps import ipps_probabilities
 from repro.core.types import Dataset
@@ -73,17 +78,56 @@ def _aggregate_group(
     return aggregate_pool(p, leftovers, rng)
 
 
+def aggregate_hierarchy_levels(
+    p: np.ndarray,
+    idx_sorted: np.ndarray,
+    keys_sorted: np.ndarray,
+    hierarchy: RadixHierarchy,
+    rng: np.random.Generator,
+) -> Optional[int]:
+    """Vectorized lowest-LCA-first aggregation, level by level.
+
+    Processes the hierarchy bottom-up: one segmented chain pass per
+    level, grouping the surviving leftovers by their ancestor node at
+    that level.  After the depth-``d`` pass every depth-``d`` node
+    holds at most one fractional key -- the same invariant the
+    recursive formulation maintains -- and pairs are consumed in
+    non-increasing LCA depth, which is exactly the Section 3 rule.
+    Levels where every group is a singleton are skipped (unary-chain
+    contraction).  Returns the final leftover index, or ``None``.
+    """
+    current_idx = np.asarray(idx_sorted, dtype=np.int64)
+    current_keys = np.asarray(keys_sorted)
+    for depth in range(hierarchy.depth, 0, -1):
+        if current_idx.size <= 1:
+            break
+        nodes = hierarchy.node_of(current_keys, depth)
+        starts = run_starts(nodes)
+        if starts.size == current_idx.size:
+            continue  # every depth-`depth` node already holds <= 1 key
+        leftovers = segmented_chain_aggregate(p, current_idx, starts, rng)
+        keep = leftovers >= 0
+        current_idx = leftovers[keep]
+        current_keys = current_keys[starts[keep]]
+    # Root level: at most one leftover per top-level child remains.
+    return chain_aggregate(p, current_idx, rng)
+
+
 def hierarchy_aware_sample(
     keys: np.ndarray,
     weights: np.ndarray,
     s: float,
     hierarchy: RadixHierarchy,
     rng: np.random.Generator,
+    strict_seed: bool = False,
 ) -> Tuple[np.ndarray, float, np.ndarray]:
     """VarOpt_s sample with node discrepancy < 1 on a hierarchy.
 
     Returns ``(included, tau, probs)`` like
     :func:`repro.aware.order_sampler.order_aware_sample`.
+    ``strict_seed=True`` keeps the historical recursive aggregation
+    (and its exact RNG stream); the default resolves each hierarchy
+    level with one segmented chain pass.
     """
     keys = np.asarray(keys)
     weights = np.asarray(weights, dtype=float)
@@ -96,13 +140,18 @@ def hierarchy_aware_sample(
         order = np.argsort(keys[fractional], kind="stable")
         idx_sorted = fractional[order]
         keys_sorted = keys[idx_sorted]
-        limit = sys.getrecursionlimit()
-        needed = hierarchy.depth + idx_sorted.size + 100
-        if needed > limit:
-            sys.setrecursionlimit(needed)
-        leftover = _aggregate_group(
-            p, idx_sorted, keys_sorted, hierarchy, 0, rng
-        )
+        if strict_seed:
+            limit = sys.getrecursionlimit()
+            needed = hierarchy.depth + idx_sorted.size + 100
+            if needed > limit:
+                sys.setrecursionlimit(needed)
+            leftover = _aggregate_group(
+                p, idx_sorted, keys_sorted, hierarchy, 0, rng
+            )
+        else:
+            leftover = aggregate_hierarchy_levels(
+                p, idx_sorted, keys_sorted, hierarchy, rng
+            )
         finalize_leftover(p, leftover, rng)
     return included_indices(p), tau, p_initial
 
@@ -112,11 +161,13 @@ def hierarchy_aware_summary(
     s: float,
     rng: np.random.Generator,
     axis: int = 0,
+    strict_seed: bool = False,
 ) -> SampleSummary:
     """Hierarchy-aware VarOpt summary of a dataset (1-D hierarchy axis)."""
     hierarchy = dataset.domain.hierarchy(axis)
     included, tau, _probs = hierarchy_aware_sample(
-        dataset.axis(axis), dataset.weights, s, hierarchy, rng
+        dataset.axis(axis), dataset.weights, s, hierarchy, rng,
+        strict_seed=strict_seed,
     )
     return SampleSummary(
         coords=dataset.coords[included],

@@ -243,9 +243,27 @@ def kd_depth(root: KDNode) -> int:
 
 
 def kd_cell_ids(root: KDNode, coords: np.ndarray) -> np.ndarray:
-    """Locate many points: the ``cell_id`` of each coordinate row."""
+    """Locate many points: the ``cell_id`` of each coordinate row.
+
+    Vectorized descent: instead of walking each point down the tree,
+    every node partitions its incident point-index set with one boolean
+    mask, so the total work is O(n * depth) NumPy element operations
+    plus O(#nodes) Python steps.  Bit-identical to calling
+    :meth:`KDNode.locate` per row.
+    """
     coords = np.atleast_2d(np.asarray(coords))
     out = np.empty(coords.shape[0], dtype=np.int64)
-    for i, row in enumerate(coords):
-        out[i] = root.locate(row).cell_id
+    stack: List[Tuple[KDNode, np.ndarray]] = [
+        (root, np.arange(coords.shape[0]))
+    ]
+    while stack:
+        node, rows = stack.pop()
+        if rows.size == 0:
+            continue
+        if node.is_leaf:
+            out[rows] = node.cell_id
+            continue
+        left = coords[rows, node.axis] <= node.split_value
+        stack.append((node.left, rows[left]))
+        stack.append((node.right, rows[~left]))
     return out

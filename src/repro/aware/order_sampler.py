@@ -21,6 +21,7 @@ from repro.core.aggregation import (
     finalize_leftover,
     included_indices,
 )
+from repro.core.chain import chain_aggregate
 from repro.core.estimator import SampleSummary
 from repro.core.ipps import ipps_probabilities
 from repro.core.types import Dataset
@@ -31,6 +32,7 @@ def order_aware_sample(
     weights: np.ndarray,
     s: float,
     rng: np.random.Generator,
+    strict_seed: bool = False,
 ) -> Tuple[np.ndarray, float, np.ndarray]:
     """VarOpt_s sample with interval discrepancy < 2.
 
@@ -58,18 +60,27 @@ def order_aware_sample(
     p, tau = ipps_probabilities(weights, s)
     p_initial = p.copy()
     order = np.argsort(keys, kind="stable")
-    fractional = [int(i) for i in order if 0.0 < p[i] < 1.0]
-    leftover = aggregate_pool(p, fractional, rng)
+    if strict_seed:
+        fractional = [int(i) for i in order if 0.0 < p[i] < 1.0]
+        leftover = aggregate_pool(p, fractional, rng)
+    else:
+        pool = order[(p[order] > 0.0) & (p[order] < 1.0)]
+        leftover = chain_aggregate(p, pool, rng)
     finalize_leftover(p, leftover, rng)
     return included_indices(p), tau, p_initial
 
 
 def order_aware_summary(
-    dataset: Dataset, s: float, rng: np.random.Generator
+    dataset: Dataset,
+    s: float,
+    rng: np.random.Generator,
+    strict_seed: bool = False,
 ) -> SampleSummary:
     """Order-aware VarOpt summary of a 1-D dataset."""
     keys = dataset.keys_1d()
-    included, tau, _probs = order_aware_sample(keys, dataset.weights, s, rng)
+    included, tau, _probs = order_aware_sample(
+        keys, dataset.weights, s, rng, strict_seed=strict_seed
+    )
     return SampleSummary(
         coords=dataset.coords[included],
         weights=dataset.weights[included],

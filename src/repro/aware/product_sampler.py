@@ -15,39 +15,41 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.aware.kd import KDNode, build_kd_hierarchy
+from repro.aware.kd import KDNode, build_kd_hierarchy, kd_leaves
 from repro.core.aggregation import (
     aggregate_pool,
     finalize_leftover,
     included_indices,
     is_set,
 )
+from repro.core.chain import segmented_chain_aggregate
 from repro.core.estimator import SampleSummary
 from repro.core.ipps import ipps_probabilities
 from repro.core.types import Dataset
 
 
-def _aggregate_kd(
-    node: KDNode,
+def fold_kd_leftovers(
+    root: KDNode,
+    leaf_leftover,
     p: np.ndarray,
-    index_map: np.ndarray,
     rng: np.random.Generator,
 ) -> Optional[int]:
-    """Bottom-up leftover aggregation over the kd-tree (iterative).
+    """Bottom-up leftover aggregation over a kd-tree (shared walk).
 
-    ``index_map`` translates the kd-tree's local point indices to
-    positions in the probability vector ``p``.  Returns the final
-    leftover index into ``p`` (or None).
+    Post-order traversal with an explicit stack: every leaf is
+    resolved by ``leaf_leftover(leaf) -> Optional[int]`` at visit time
+    (so scalar leaf pools consume the generator in the historical walk
+    order), and every internal node pair-aggregates its children's
+    surviving leftovers.  Returns the final leftover index into ``p``
+    (or None).  The single walk behind :func:`_aggregate_kd`, the
+    batched variant and the two-pass final phase.
     """
-    # Post-order traversal with an explicit stack; each node's resolved
-    # leftover is stored on the node temporarily.
-    stack = [(node, False)]
+    stack = [(root, False)]
     leftover_of = {}
     while stack:
         current, visited = stack.pop()
         if current.is_leaf:
-            pool = [int(index_map[i]) for i in current.indices]
-            leftover_of[id(current)] = aggregate_pool(p, pool, rng)
+            leftover_of[id(current)] = leaf_leftover(current)
             continue
         if not visited:
             stack.append((current, True))
@@ -60,7 +62,53 @@ def _aggregate_kd(
         ]
         pool = [idx for idx in pool if idx is not None and not is_set(float(p[idx]))]
         leftover_of[id(current)] = aggregate_pool(p, pool, rng)
-    return leftover_of.pop(id(node), None)
+    return leftover_of.pop(id(root), None)
+
+
+def _aggregate_kd(
+    node: KDNode,
+    p: np.ndarray,
+    index_map: np.ndarray,
+    rng: np.random.Generator,
+) -> Optional[int]:
+    """Scalar bottom-up aggregation: leaf pools resolve in walk order.
+
+    ``index_map`` translates the kd-tree's local point indices to
+    positions in the probability vector ``p``.
+    """
+    def leaf_leftover(leaf: KDNode) -> Optional[int]:
+        pool = [int(index_map[i]) for i in leaf.indices]
+        return aggregate_pool(p, pool, rng)
+
+    return fold_kd_leftovers(node, leaf_leftover, p, rng)
+
+
+def _aggregate_kd_batched(
+    node: KDNode,
+    p: np.ndarray,
+    index_map: np.ndarray,
+    rng: np.random.Generator,
+) -> Optional[int]:
+    """Leaf-batched variant of :func:`_aggregate_kd`.
+
+    All leaf pools -- the O(n) bulk of the work -- resolve in one
+    segmented chain pass; the remaining bottom-up walk only
+    pair-aggregates the O(#nodes) per-child leftovers.  Same pair
+    structure (children resolve before parents), different RNG
+    consumption order than the scalar walk.
+    """
+    leaves = kd_leaves(node)
+    sizes = np.asarray([leaf.indices.size for leaf in leaves], dtype=np.int64)
+    pool = index_map[np.concatenate([leaf.indices for leaf in leaves])]
+    starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    leftovers = segmented_chain_aggregate(p, pool, starts, rng)
+    resolved = {
+        id(leaf): (None if leftovers[i] < 0 else int(leftovers[i]))
+        for i, leaf in enumerate(leaves)
+    }
+    return fold_kd_leftovers(
+        node, lambda leaf: resolved[id(leaf)], p, rng
+    )
 
 
 def product_aware_sample(
@@ -71,12 +119,15 @@ def product_aware_sample(
     domain=None,
     leaf_mass: float = 1.0,
     split_rule: str = "median",
+    strict_seed: bool = False,
 ) -> Tuple[np.ndarray, float, np.ndarray]:
     """VarOpt_s sample of d-dimensional keys with box-aware aggregation.
 
     Returns ``(included, tau, probs)`` as in the 1-D aware samplers.
     ``leaf_mass`` and ``split_rule`` are forwarded to
     :func:`repro.aware.kd.build_kd_hierarchy` (exposed for ablations).
+    ``strict_seed=True`` keeps the historical scalar tree walk (and
+    its exact RNG stream).
     """
     coords = np.atleast_2d(np.asarray(coords))
     weights = np.asarray(weights, dtype=float)
@@ -91,7 +142,8 @@ def product_aware_sample(
             leaf_mass=leaf_mass,
             split_rule=split_rule,
         )
-        leftover = _aggregate_kd(tree, p, fractional, rng)
+        aggregate = _aggregate_kd if strict_seed else _aggregate_kd_batched
+        leftover = aggregate(tree, p, fractional, rng)
         finalize_leftover(p, leftover, rng)
     return included_indices(p), tau, p_initial
 
@@ -102,6 +154,7 @@ def product_aware_summary(
     rng: np.random.Generator,
     leaf_mass: float = 1.0,
     split_rule: str = "median",
+    strict_seed: bool = False,
 ) -> SampleSummary:
     """Product-structure aware VarOpt summary of a dataset.
 
@@ -116,6 +169,7 @@ def product_aware_summary(
         domain=dataset.domain,
         leaf_mass=leaf_mass,
         split_rule=split_rule,
+        strict_seed=strict_seed,
     )
     return SampleSummary(
         coords=dataset.coords[included],

@@ -78,23 +78,17 @@ def boundary_cell_count(
     """
     d = len(domain_sizes)
     h = max(1, int(np.floor(s ** (1.0 / d) + 1e-9)))
-    total = 0
     grids = [np.linspace(0, size, h + 1, dtype=np.int64) for size in domain_sizes]
     cells = np.stack(
         np.meshgrid(*[np.arange(h) for _ in range(d)], indexing="ij"),
         axis=-1,
     ).reshape(-1, d)
-    for cell in cells:
-        lows = [int(grids[a][cell[a]]) for a in range(d)]
-        highs = [int(grids[a][cell[a] + 1]) - 1 for a in range(d)]
-        inside = all(
-            box.lows[a] <= lows[a] and highs[a] <= box.highs[a]
-            for a in range(d)
-        )
-        outside = any(
-            highs[a] < box.lows[a] or lows[a] > box.highs[a]
-            for a in range(d)
-        )
-        if not inside and not outside:
-            total += 1
-    return total
+    # All h^d cells classified in one broadcasted pass: a cell is on
+    # the boundary iff it is neither fully inside nor fully outside.
+    lows = np.stack([grids[a][cells[:, a]] for a in range(d)], axis=1)
+    highs = np.stack([grids[a][cells[:, a] + 1] - 1 for a in range(d)], axis=1)
+    box_lows = np.asarray(box.lows, dtype=np.int64)
+    box_highs = np.asarray(box.highs, dtype=np.int64)
+    inside = ((box_lows <= lows) & (highs <= box_highs)).all(axis=1)
+    outside = ((highs < box_lows) | (lows > box_highs)).any(axis=1)
+    return int(np.count_nonzero(~inside & ~outside))

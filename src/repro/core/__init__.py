@@ -17,6 +17,11 @@ from repro.core.aggregation import (
     finalize_leftover,
     included_indices,
 )
+from repro.core.chain import (
+    chain_aggregate,
+    run_starts,
+    segmented_chain_aggregate,
+)
 from repro.core.varopt import (
     varopt_sample,
     varopt_summary,
@@ -38,6 +43,9 @@ __all__ = [
     "aggregate_pool",
     "finalize_leftover",
     "included_indices",
+    "chain_aggregate",
+    "segmented_chain_aggregate",
+    "run_starts",
     "varopt_sample",
     "varopt_summary",
     "StreamVarOpt",

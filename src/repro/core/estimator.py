@@ -19,6 +19,7 @@ from repro.core.aggregation import (
     finalize_leftover,
     included_indices,
 )
+from repro.core.chain import chain_aggregate
 from repro.core.ipps import ipps_threshold
 from repro.structures.ranges import (
     Box,
@@ -119,6 +120,7 @@ class SampleSummary:
         other: "SampleSummary",
         s: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        strict_seed: bool = False,
     ) -> "SampleSummary":
         """Merge with an IPPS/VarOpt sample of a *disjoint* shard.
 
@@ -166,6 +168,11 @@ class SampleSummary:
         rng:
             Randomness for the pair aggregations; a fresh default
             generator is used when omitted.
+        strict_seed:
+            ``True`` runs the historical scalar pair-aggregation loop
+            (bit-compatible RNG stream with earlier releases); the
+            default runs the vectorized chain kernel, same
+            distribution with a different RNG consumption order.
         """
         if not isinstance(other, SampleSummary):
             raise TypeError(
@@ -186,7 +193,7 @@ class SampleSummary:
                     weights=base.weights.copy(),
                     tau=base.tau,
                 )
-            return base.downsample(s, rng)
+            return base.downsample(s, rng, strict_seed=strict_seed)
         if s is None:
             s = max(self.size, other.size)
         coords = np.concatenate((self.coords, other.coords), axis=0)
@@ -194,10 +201,15 @@ class SampleSummary:
             (self.adjusted_weights, other.adjusted_weights)
         )
         tau_floor = max(self.tau, other.tau)
-        return _reaggregate(coords, adjusted, tau_floor, s, rng)
+        return _reaggregate(
+            coords, adjusted, tau_floor, s, rng, strict_seed=strict_seed
+        )
 
     def downsample(
-        self, s: int, rng: Optional[np.random.Generator] = None
+        self,
+        s: int,
+        rng: Optional[np.random.Generator] = None,
+        strict_seed: bool = False,
     ) -> "SampleSummary":
         """Re-aggregate this sample down to at most ``s`` keys.
 
@@ -213,7 +225,8 @@ class SampleSummary:
                 tau=self.tau,
             )
         return _reaggregate(
-            self.coords, self.adjusted_weights, self.tau, s, rng
+            self.coords, self.adjusted_weights, self.tau, s, rng,
+            strict_seed=strict_seed,
         )
 
     @classmethod
@@ -401,6 +414,7 @@ def _reaggregate(
     tau_floor: float,
     s: int,
     rng: Optional[np.random.Generator],
+    strict_seed: bool = False,
 ) -> SampleSummary:
     """Second-stage IPPS/VarOpt pair aggregation over adjusted weights.
 
@@ -420,7 +434,10 @@ def _reaggregate(
     p = np.minimum(1.0, adjusted / tau_star)
     fractional = np.flatnonzero((p > 0.0) & (p < 1.0))
     pool = fractional[rng.permutation(fractional.size)]
-    leftover = aggregate_pool(p, pool.tolist(), rng)
+    if strict_seed:
+        leftover = aggregate_pool(p, pool.tolist(), rng)
+    else:
+        leftover = chain_aggregate(p, pool, rng)
     finalize_leftover(p, leftover, rng)
     included = included_indices(p)
     return SampleSummary(

@@ -47,16 +47,22 @@ def ipps_threshold(weights: np.ndarray, s: float) -> float:
     # Try k = number of keys taken with probability one (the k largest).
     # tau_k = (sum of the remaining weights) / (s - k) is consistent iff
     # the k-th largest weight is >= tau_k and the (k+1)-th is < tau_k.
+    # All candidates are checked in one vectorized pass (the scalar
+    # `for k` scan cost O(s) Python steps per build); the first
+    # consistent k wins, matching the scalar scan order exactly.
     max_k = int(min(n - 1, np.floor(s)))
-    for k in range(0, max_k + 1):
-        denom = s - k
-        if denom <= 0:
-            break
-        tau = tail_sums[k] / denom
-        upper_ok = k == 0 or w_sorted[k - 1] >= tau * (1 - PROB_EPS)
-        lower_ok = w_sorted[k] < tau * (1 + PROB_EPS)
-        if upper_ok and lower_ok:
-            return float(tau)
+    ks = np.arange(max_k + 1)
+    denoms = s - ks
+    positive = denoms > 0
+    taus = np.divide(
+        tail_sums[ks], denoms, out=np.zeros(ks.size), where=positive
+    )
+    upper_ok = w_sorted[np.maximum(ks - 1, 0)] >= taus * (1 - PROB_EPS)
+    upper_ok[0] = True
+    lower_ok = w_sorted[ks] < taus * (1 + PROB_EPS)
+    hits = np.flatnonzero(positive & upper_ok & lower_ok)
+    if hits.size:
+        return float(taus[hits[0]])
     # Fall back: numerical corner where the scan missed by rounding.
     return float(tail_sums[max_k] / (s - max_k))
 

@@ -36,11 +36,19 @@ class Dataset:
     domain: ProductDomain
 
     def __post_init__(self):
-        self.coords = np.atleast_2d(np.asarray(self.coords, dtype=np.int64))
-        if self.coords.shape[0] == 1 and self.coords.shape[1] > 1 and self.domain.dims == 1:
+        # Normalize exactly once: C-contiguous int64 coordinates and
+        # float64 weights.  Every downstream kernel (sampling chains,
+        # kd routing, batched queries, wire codecs) relies on this and
+        # skips its own re-validation; ``ascontiguousarray`` is a no-op
+        # for already-conforming inputs.
+        coords = np.atleast_2d(np.asarray(self.coords, dtype=np.int64))
+        if coords.shape[0] == 1 and coords.shape[1] > 1 and self.domain.dims == 1:
             # A flat list of 1-D keys was passed; make it a column.
-            self.coords = self.coords.T
-        self.weights = np.asarray(self.weights, dtype=float)
+            coords = coords.T
+        self.coords = np.ascontiguousarray(coords)
+        self.weights = np.ascontiguousarray(
+            np.asarray(self.weights, dtype=np.float64)
+        )
         if self.coords.shape[0] != self.weights.shape[0]:
             raise ValueError("coords and weights must have matching length")
         if self.weights.size and float(self.weights.min()) < 0:
@@ -108,12 +116,34 @@ class Dataset:
         for row, weight in zip(self.coords, self.weights):
             yield tuple(int(x) for x in row), float(weight)
 
+    @classmethod
+    def _from_validated(
+        cls, coords: np.ndarray, weights: np.ndarray, domain: ProductDomain
+    ) -> "Dataset":
+        """Wrap arrays already known to satisfy the class invariants.
+
+        Used by row-selection paths (:meth:`subset`, sharding) whose
+        inputs come from an already-validated dataset: re-running the
+        O(n) domain/sign checks per shard would dominate a sharded
+        build's setup.
+        """
+        dataset = object.__new__(cls)
+        dataset.coords = np.ascontiguousarray(coords)
+        dataset.weights = np.ascontiguousarray(weights)
+        dataset.domain = domain
+        return dataset
+
     def subset(self, mask_or_indices) -> "Dataset":
-        """A new dataset restricted to the given rows."""
-        return Dataset(
-            coords=self.coords[mask_or_indices],
-            weights=self.weights[mask_or_indices],
-            domain=self.domain,
+        """A new dataset restricted to the given rows.
+
+        Rows of a validated dataset are still validated, so the
+        subset skips re-validation; slice selections stay zero-copy
+        views of the parent arrays.
+        """
+        return Dataset._from_validated(
+            self.coords[mask_or_indices],
+            self.weights[mask_or_indices],
+            self.domain,
         )
 
     def aggregate_duplicates(self) -> "Dataset":

@@ -25,6 +25,7 @@ from repro.core.aggregation import (
     finalize_leftover,
     included_indices,
 )
+from repro.core.chain import chain_aggregate
 from repro.core.estimator import SampleSummary
 from repro.core.ipps import ipps_probabilities
 from repro.core.types import Dataset
@@ -36,12 +37,19 @@ def varopt_sample(
     s: float,
     rng: np.random.Generator,
     order: Optional[np.ndarray] = None,
+    strict_seed: bool = False,
 ) -> Tuple[np.ndarray, float]:
     """Offline VarOpt_s sample of a weight vector.
 
     Returns ``(included_indices, tau)``.  ``order`` fixes the pair
     aggregation order over the fractional entries; by default a random
     permutation is used, which makes the sample structure-oblivious.
+
+    ``strict_seed=True`` runs the historical scalar pair-aggregation
+    loop (bit-compatible with earlier releases for a fixed seed);
+    the default runs the vectorized chain kernel
+    (:func:`repro.core.chain.chain_aggregate`), which realizes the same
+    distribution with a different RNG consumption order.
     """
     w = np.asarray(weights, dtype=float)
     p, tau = ipps_probabilities(w, s)
@@ -49,16 +57,24 @@ def varopt_sample(
     if order is None:
         order = rng.permutation(fractional.size)
     pool = fractional[order]
-    leftover = aggregate_pool(p, pool.tolist(), rng)
+    if strict_seed:
+        leftover = aggregate_pool(p, pool.tolist(), rng)
+    else:
+        leftover = chain_aggregate(p, pool, rng)
     finalize_leftover(p, leftover, rng)
     return included_indices(p), tau
 
 
 def varopt_summary(
-    dataset: Dataset, s: float, rng: np.random.Generator
+    dataset: Dataset,
+    s: float,
+    rng: np.random.Generator,
+    strict_seed: bool = False,
 ) -> SampleSummary:
     """Offline structure-oblivious VarOpt summary of a dataset."""
-    included, tau = varopt_sample(dataset.weights, s, rng)
+    included, tau = varopt_sample(
+        dataset.weights, s, rng, strict_seed=strict_seed
+    )
     return SampleSummary(
         coords=dataset.coords[included],
         weights=dataset.weights[included],
@@ -376,10 +392,23 @@ class StreamVarOpt(IncrementalSummary):
 
 
 def stream_varopt_summary(
-    dataset: Dataset, s: int, rng: np.random.Generator
+    dataset: Dataset,
+    s: int,
+    rng: np.random.Generator,
+    strict_seed: bool = False,
 ) -> SampleSummary:
-    """One-pass structure-oblivious VarOpt summary of a dataset."""
+    """One-pass structure-oblivious VarOpt summary of a dataset.
+
+    The default replays the dataset through the reservoir's vectorized
+    bulk feed (:meth:`StreamVarOpt.update`), which realizes the same
+    per-item accept/evict distribution as the per-item loop;
+    ``strict_seed=True`` keeps the historical item-at-a-time feed (and
+    its exact RNG stream).
+    """
     sampler = StreamVarOpt(s, rng)
-    for key, weight in dataset.iter_items():
-        sampler.feed(key, weight)
+    if strict_seed:
+        for key, weight in dataset.iter_items():
+            sampler.feed(key, weight)
+    else:
+        sampler.update(dataset.coords, dataset.weights)
     return sampler.summary()

@@ -70,11 +70,29 @@ def shard_dataset(
     seed: int = 0,
     drop_empty: bool = True,
 ) -> List[Dataset]:
-    """Partition a dataset into shard datasets over the same domain."""
-    shards = [
-        dataset.subset(idx)
-        for idx in shard_indices(dataset, num_shards, strategy, seed)
-    ]
+    """Partition a dataset into shard datasets over the same domain.
+
+    Contiguous shards are materialized as slices -- zero-copy views of
+    the (already validated, contiguous) parent arrays -- instead of
+    gathering through an index array per shard.
+    """
+    if strategy == "contiguous":
+        # Same split points as np.array_split(arange(n), num_shards).
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        base, extra = divmod(dataset.n, num_shards)
+        sizes = np.full(num_shards, base, dtype=np.int64)
+        sizes[:extra] += 1
+        cuts = np.concatenate(([0], np.cumsum(sizes)))
+        shards = [
+            dataset.subset(slice(int(lo), int(hi)))
+            for lo, hi in zip(cuts[:-1], cuts[1:])
+        ]
+    else:
+        shards = [
+            dataset.subset(idx)
+            for idx in shard_indices(dataset, num_shards, strategy, seed)
+        ]
     if drop_empty:
         shards = [shard for shard in shards if shard.n]
     return shards

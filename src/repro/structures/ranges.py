@@ -56,6 +56,11 @@ class Box:
         coords = np.asarray(coords)
         if coords.ndim == 1:
             coords = coords.reshape(-1, 1)
+        if len(self.lows) == 1:
+            # 1-D fast path (the dominant case for interval queries):
+            # two fused comparisons, no all-ones mask to initialize.
+            column = coords[:, 0]
+            return (column >= self.lows[0]) & (column <= self.highs[0])
         mask = np.ones(coords.shape[0], dtype=bool)
         for axis, (lo, hi) in enumerate(zip(self.lows, self.highs)):
             column = coords[:, axis]
@@ -89,6 +94,13 @@ class Box:
             raise ValueError(
                 f"dimensionality mismatch: boxes have {bounds.shape[1]} "
                 f"axes, coords have {coords.shape[1]}"
+            )
+        if bounds.shape[1] == 1:
+            # 1-D fast path: one broadcasted double comparison, no
+            # per-axis accumulation loop.
+            column = coords[:, 0]
+            return (column >= bounds[:, 0, 0, None]) & (
+                column <= bounds[:, 0, 1, None]
             )
         # Accumulate per axis so intermediates stay (q, n), never
         # (q, n, d) -- the memory traffic dominates at scale.

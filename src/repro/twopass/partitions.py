@@ -14,9 +14,15 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.aware.kd import KDNode, build_kd_hierarchy
+from repro.aware.kd import KDNode, build_kd_hierarchy, kd_cell_ids
 from repro.structures.hierarchy import RadixHierarchy
 from repro.structures.product import ProductDomain
+
+
+def _key_column(coords: np.ndarray) -> np.ndarray:
+    """First coordinate column of a 1-D key batch (accepts (n,) too)."""
+    coords = np.asarray(coords)
+    return coords[:, 0] if coords.ndim == 2 else coords
 
 
 class OrderPartition:
@@ -38,6 +44,12 @@ class OrderPartition:
         """Cell index of a key (1-D keys or 1-tuples accepted)."""
         value = key[0] if isinstance(key, tuple) else key
         return int(np.searchsorted(self._boundaries, value, side="left"))
+
+    def cell_codes(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cell_of` over a key batch (same integers)."""
+        return np.searchsorted(
+            self._boundaries, _key_column(coords), side="left"
+        ).astype(np.int64)
 
 
 class KDPartition:
@@ -65,6 +77,14 @@ class KDPartition:
         """Leaf cell id containing the key."""
         return self.tree.locate(key).cell_id
 
+    def cell_codes(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cell_of` over a coordinate batch.
+
+        Returns the same leaf cell ids as the per-key walk (one boolean
+        mask per tree node instead of one descent per point).
+        """
+        return kd_cell_ids(self.tree, coords)
+
 
 class HierarchyAncestorPartition:
     """Lowest-selected-ancestor cells of a hierarchy (Section 5).
@@ -84,6 +104,14 @@ class HierarchyAncestorPartition:
             for depth, node in hierarchy.ancestors(key):
                 selected.add((depth, node))
         self._selected = selected
+        # Per-depth sorted node arrays for the vectorized router.
+        by_depth: Dict[int, List[int]] = {}
+        for depth, node in selected:
+            by_depth.setdefault(depth, []).append(node)
+        self._selected_by_depth = {
+            depth: np.sort(np.asarray(nodes, dtype=np.int64))
+            for depth, nodes in by_depth.items()
+        }
 
     @property
     def num_cells(self) -> int:
@@ -101,6 +129,37 @@ class HierarchyAncestorPartition:
             if (depth, node) in self._selected:
                 return (depth, node)
         return (0, 0)
+
+    def cell_codes(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cell_of`, as ``depth * num_leaves + node``.
+
+        One sorted-membership pass per hierarchy level, deepest first;
+        each key takes the first (deepest) selected ancestor it hits.
+        :meth:`decode_cell_code` recovers the ``(depth, node)`` tuple.
+        """
+        values = _key_column(coords)
+        h = self._hierarchy
+        stride = np.int64(h.num_leaves)
+        codes = np.zeros(values.shape[0], dtype=np.int64)  # root = (0, 0)
+        pending = np.ones(values.shape[0], dtype=bool)
+        for depth in range(h.depth, 0, -1):
+            selected = self._selected_by_depth.get(depth)
+            if selected is None or not pending.any():
+                continue
+            rows = np.flatnonzero(pending)
+            nodes = np.asarray(h.node_of(values[rows], depth), dtype=np.int64)
+            pos = np.searchsorted(selected, nodes)
+            hit = pos < selected.size
+            hit[hit] = selected[pos[hit]] == nodes[hit]
+            hit_rows = rows[hit]
+            codes[hit_rows] = np.int64(depth) * stride + nodes[hit]
+            pending[hit_rows] = False
+        return codes
+
+    def decode_cell_code(self, code: int) -> Tuple[int, int]:
+        """The ``(depth, node)`` cell behind a :meth:`cell_codes` value."""
+        stride = self._hierarchy.num_leaves
+        return int(code) // stride, int(code) % stride
 
 
 class DisjointPartition:
@@ -132,3 +191,39 @@ class DisjointPartition:
         if pos < self._seen.size and self._seen[pos] == value:
             return ("range", value)
         return ("gap", pos)
+
+    def cell_codes(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cell_of`, as ``2 * pos + exact_match``.
+
+        Observed labels get odd codes (``("range", value)``), gap runs
+        even codes (``("gap", pos)``); distinct cells map to distinct
+        codes.  When a labeler was supplied it is applied per row (the
+        labeler is an arbitrary Python callable); the grouping itself
+        stays vectorized.
+        """
+        if self._labeler is not None:
+            rows = np.asarray(coords)
+            if rows.ndim == 1:
+                rows = rows.reshape(-1, 1)
+            # Native-int key tuples, exactly what the scalar path's
+            # Dataset.iter_items hands the labeler.
+            values = np.asarray(
+                [
+                    int(self._labeler(tuple(int(x) for x in row)))
+                    for row in rows
+                ],
+                dtype=np.int64,
+            )
+        else:
+            values = _key_column(coords).astype(np.int64)
+        pos = np.searchsorted(self._seen, values, side="left")
+        exact = pos < self._seen.size
+        exact[exact] = self._seen[pos[exact]] == values[exact]
+        return 2 * pos.astype(np.int64) + exact
+
+    def decode_cell_code(self, code: int) -> Tuple[str, int]:
+        """The cell tuple behind a :meth:`cell_codes` value."""
+        code = int(code)
+        if code % 2:
+            return ("range", int(self._seen[code // 2]))
+        return ("gap", code // 2)

@@ -15,19 +15,24 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.aware.hierarchy_sampler import aggregate_hierarchy_levels
 from repro.aware.kd import KDNode
+from repro.aware.product_sampler import fold_kd_leftovers
 from repro.core.aggregation import (
+    SET_EPS,
     aggregate_pool,
     finalize_leftover,
     included_indices,
+    is_set,
 )
+from repro.core.chain import chain_aggregate
 from repro.core.estimator import SampleSummary
-from repro.core.ipps import StreamingThreshold
+from repro.core.ipps import StreamingThreshold, ipps_threshold
 from repro.core.types import Dataset
-from repro.core.varopt import StreamVarOpt
+from repro.core.varopt import StreamVarOpt, varopt_sample
 from repro.structures.hierarchy import RadixHierarchy
 from repro.structures.order import OrderedDomain
-from repro.twopass.io_aggregate import IOAggregator, Record
+from repro.twopass.io_aggregate import IOAggregator, Record, aggregate_cells
 from repro.twopass.partitions import (
     HierarchyAncestorPartition,
     KDPartition,
@@ -41,29 +46,19 @@ def _aggregate_tree_cells(
     p: np.ndarray,
     rng: np.random.Generator,
 ) -> Optional[int]:
-    """Bottom-up aggregation of one record per kd cell (final phase)."""
-    stack = [(root, False)]
-    leftover_of = {}
-    while stack:
-        node, visited = stack.pop()
-        if node.is_leaf:
-            idx = cell_to_index.get(node.cell_id)
-            pool = [idx] if idx is not None else []
-            leftover_of[id(node)] = aggregate_pool(p, pool, rng)
-            continue
-        if not visited:
-            stack.append((node, True))
-            stack.append((node.left, False))
-            stack.append((node.right, False))
-            continue
-        pool = [
-            leftover_of.pop(id(node.left), None),
-            leftover_of.pop(id(node.right), None),
-        ]
-        leftover_of[id(node)] = aggregate_pool(
-            p, [i for i in pool if i is not None], rng
-        )
-    return leftover_of.pop(id(root), None)
+    """Bottom-up aggregation of one record per kd cell (final phase).
+
+    Each leaf holds at most one active record; the shared kd walk
+    (:func:`repro.aware.product_sampler.fold_kd_leftovers`)
+    pair-aggregates them up the partition tree.
+    """
+    def leaf_leftover(leaf: KDNode) -> Optional[int]:
+        idx = cell_to_index.get(leaf.cell_id)
+        if idx is None or is_set(float(p[idx])):
+            return None
+        return idx
+
+    return fold_kd_leftovers(root, leaf_leftover, p, rng)
 
 
 def _aggregate_hierarchy_records(
@@ -104,6 +99,12 @@ class TwoPassSampler:
         Required when ``partition="disjoint"``: a function mapping a key
         tuple to its integer range label (the flat partition the range
         family consists of).
+    strict_seed:
+        ``True`` runs the historical item-at-a-time passes
+        (bit-compatible RNG stream with earlier releases); the default
+        batched pipeline vectorizes the threshold computation, the
+        guide-sample feed, the cell routing and the per-cell
+        aggregation, realizing the same sampling distribution.
     """
 
     def __init__(
@@ -114,6 +115,7 @@ class TwoPassSampler:
         partition: str = "auto",
         split_rule: str = "median",
         labeler=None,
+        strict_seed: bool = False,
     ):
         if s < 1:
             raise ValueError("sample size must be >= 1")
@@ -130,6 +132,7 @@ class TwoPassSampler:
         self._partition_kind = partition
         self._split_rule = split_rule
         self._labeler = labeler
+        self._strict_seed = bool(strict_seed)
         self.last_partition = None  # exposed for tests/diagnostics
 
     def _resolve_partition_kind(self, dataset: Dataset) -> str:
@@ -144,6 +147,111 @@ class TwoPassSampler:
 
     def fit(self, dataset: Dataset) -> SampleSummary:
         """Run both passes over ``dataset`` and return the summary."""
+        if self._strict_seed:
+            return self._fit_scalar(dataset)
+        return self._fit_batched(dataset)
+
+    def _fit_batched(self, dataset: Dataset) -> SampleSummary:
+        """Vectorized passes: same pipeline, NumPy kernels throughout.
+
+        Pass 1 becomes the offline exact threshold (identical value to
+        Algorithm 4's streaming fixpoint) plus the reservoir's bulk
+        feed; pass 2 becomes vectorized cell routing plus one
+        segmented aggregation chain per cell
+        (:func:`repro.twopass.io_aggregate.aggregate_cells`).
+        """
+        rng = self._rng
+        s = self._s
+        weights = dataset.weights
+        tau = ipps_threshold(weights, s)
+        if tau == 0.0:
+            # The sample size covers every positive-weight key.
+            mask = weights > 0
+            return SampleSummary(
+                coords=dataset.coords[mask],
+                weights=weights[mask],
+                tau=0.0,
+            )
+        # ---- Pass 1: guide sample via offline VarOpt -------------------
+        # The scalar pipeline draws the guide with the one-pass
+        # reservoir because it only sees a stream; with the dataset in
+        # memory the offline kernel draws a VarOpt_{s'} sample with the
+        # identical IPPS inclusion probabilities at a fraction of the
+        # cost.  Keys certain to be sampled (w >= tau_s) are excluded
+        # from the partition construction, as in the scalar pass.
+        guide_rows, _guide_tau = varopt_sample(
+            weights, s * self._factor, rng
+        )
+        guide_rows = guide_rows[weights[guide_rows] < tau]
+        guide_items = [
+            (tuple(key), float(weight))
+            for key, weight in zip(
+                dataset.coords[guide_rows].tolist(), weights[guide_rows]
+            )
+        ]
+        kind = self._resolve_partition_kind(dataset)
+        partition = self._build_partition(dataset, kind, guide_items, tau)
+        self.last_partition = partition
+        # ---- Pass 2: route + segmented per-cell aggregation ------------
+        p = np.minimum(1.0, weights / tau)
+        heavy_rows = np.flatnonzero(p >= 1.0 - SET_EPS)
+        light_rows = np.flatnonzero((p > SET_EPS) & (p < 1.0 - SET_EPS))
+        codes = partition.cell_codes(dataset.coords[light_rows])
+        committed, active_rows, active_probs, active_codes = aggregate_cells(
+            p, light_rows, codes, rng
+        )
+        # ---- Final phase: aggregate the active records -----------------
+        final_rows = self._finalize_batched(
+            dataset, kind, partition, active_rows, active_probs,
+            active_codes, rng,
+        )
+        rows = np.concatenate((heavy_rows, committed, final_rows))
+        return SampleSummary(
+            coords=dataset.coords[rows],
+            weights=weights[rows],
+            tau=tau,
+        )
+
+    def _finalize_batched(
+        self,
+        dataset: Dataset,
+        kind: str,
+        partition,
+        rows: np.ndarray,
+        probs: np.ndarray,
+        codes: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Structure-following aggregation of the active records.
+
+        Mirrors :meth:`_finalize` over (row, probability) arrays; the
+        active set is O(#cells), so only the order/ancestor chains are
+        vectorized -- the kd walk touches each partition node once.
+        """
+        if rows.size == 0:
+            return rows
+        p = probs.copy()
+        if kind == "kd":
+            # KD cell codes are the leaf cell ids themselves.
+            cell_to_index = {int(code): i for i, code in enumerate(codes)}
+            leftover = _aggregate_tree_cells(
+                partition.tree, cell_to_index, p, rng
+            )
+        elif kind == "ancestor":
+            keys = dataset.coords[rows, 0]
+            order = np.argsort(keys, kind="stable")
+            leftover = aggregate_hierarchy_levels(
+                p, order, keys[order], dataset.domain.hierarchy(0), rng
+            )
+        else:  # order / linearized / disjoint: along the sorted order
+            keys = dataset.coords[rows, 0]
+            order = np.argsort(keys, kind="stable")
+            leftover = chain_aggregate(p, order, rng)
+        finalize_leftover(p, leftover, rng)
+        return rows[included_indices(p)]
+
+    def _fit_scalar(self, dataset: Dataset) -> SampleSummary:
+        """The historical item-at-a-time passes (``strict_seed=True``)."""
         rng = self._rng
         s = self._s
         # ---- Pass 1: exact threshold + guide sample --------------------
@@ -258,6 +366,7 @@ def two_pass_summary(
     partition: str = "auto",
     split_rule: str = "median",
     labeler=None,
+    strict_seed: bool = False,
 ) -> SampleSummary:
     """Convenience wrapper: fit a :class:`TwoPassSampler` on a dataset."""
     sampler = TwoPassSampler(
@@ -267,5 +376,6 @@ def two_pass_summary(
         partition=partition,
         split_rule=split_rule,
         labeler=labeler,
+        strict_seed=strict_seed,
     )
     return sampler.fit(dataset)
