@@ -62,6 +62,29 @@ class KDNode:
         return node
 
 
+def _presorted_median_cut(
+    sorted_vals: np.ndarray, sorted_mass: np.ndarray
+) -> Optional[Tuple[int, float]]:
+    """Best cut of a presorted axis, or ``None`` if it is constant.
+
+    The single float-op sequence behind both build paths (the scalar
+    recursion sorts per node, the level-synchronous builder maintains
+    presorted orders); keeping it in one place is what guarantees the
+    two paths choose bit-identical splits.
+    """
+    if sorted_vals[0] == sorted_vals[-1]:
+        return None
+    # Candidate cuts lie between runs of distinct values.
+    change = np.flatnonzero(np.diff(sorted_vals)) + 1
+    cums = np.cumsum(sorted_mass)
+    total = cums[-1]
+    left_masses = cums[change - 1]
+    imbalance = np.abs(total - 2.0 * left_masses)
+    best = int(np.argmin(imbalance))
+    split_value = int(sorted_vals[change[best] - 1])
+    return split_value, float(imbalance[best])
+
+
 def _weighted_median_split(
     values: np.ndarray, masses: np.ndarray
 ) -> Optional[Tuple[int, float]]:
@@ -73,19 +96,7 @@ def _weighted_median_split(
     line 9).
     """
     order = np.argsort(values, kind="stable")
-    sorted_vals = values[order]
-    if sorted_vals[0] == sorted_vals[-1]:
-        return None
-    sorted_mass = masses[order]
-    # Candidate cuts lie between runs of distinct values.
-    change = np.flatnonzero(np.diff(sorted_vals)) + 1
-    cums = np.cumsum(sorted_mass)
-    total = cums[-1]
-    left_masses = cums[change - 1]
-    imbalance = np.abs(total - 2.0 * left_masses)
-    best = int(np.argmin(imbalance))
-    split_value = int(sorted_vals[change[best] - 1])
-    return split_value, float(imbalance[best])
+    return _presorted_median_cut(values[order], masses[order])
 
 
 def _midpoint_split(
@@ -109,6 +120,7 @@ def build_kd_hierarchy(
     domain: Optional[ProductDomain] = None,
     leaf_mass: float = 1.0,
     split_rule: str = "median",
+    scalar: bool = False,
 ) -> KDNode:
     """Build the KD-HIERARCHY over a weighted point set.
 
@@ -129,6 +141,13 @@ def build_kd_hierarchy(
         points.
     split_rule:
         ``"median"`` (Algorithm 2) or ``"midpoint"`` (ablation).
+    scalar:
+        ``True`` runs the historical per-node recursion; the default
+        runs the level-synchronous presorted builder, which produces a
+        bit-identical tree (same splits, same masses, same cell ids)
+        without the per-node ``argsort`` -- callers with a
+        ``strict_seed`` flag route it here so the historical code path
+        itself stays reachable.
 
     Returns
     -------
@@ -143,6 +162,21 @@ def build_kd_hierarchy(
         raise ValueError(f"unknown split rule: {split_rule}")
     if split_rule == "midpoint" and domain is None:
         raise ValueError("midpoint splitting requires a domain")
+    if scalar:
+        return _build_kd_scalar(coords, masses, domain, leaf_mass, split_rule)
+    return _build_kd_level_synchronous(
+        coords, masses, domain, leaf_mass, split_rule
+    )
+
+
+def _build_kd_scalar(
+    coords: np.ndarray,
+    masses: np.ndarray,
+    domain: Optional[ProductDomain],
+    leaf_mass: float,
+    split_rule: str,
+) -> KDNode:
+    """The historical per-node recursion (one argsort per split try)."""
     dims = coords.shape[1]
     root_box = domain.full_box() if domain is not None else None
     root = KDNode(mass=float(masses.sum()), box=root_box)
@@ -184,6 +218,114 @@ def build_kd_hierarchy(
         node.right = KDNode(mass=0.0, box=right_box)
         stack.append((node.left, left_idx, depth + 1))
         stack.append((node.right, right_idx, depth + 1))
+    return root
+
+
+def _build_kd_level_synchronous(
+    coords: np.ndarray,
+    masses: np.ndarray,
+    domain: Optional[ProductDomain],
+    leaf_mass: float,
+    split_rule: str,
+) -> KDNode:
+    """Level-synchronous presorted kd build (bit-identical to scalar).
+
+    Each axis is stable-argsorted *once*; every split thereafter only
+    stable-partitions the per-axis orders with boolean masks, so a
+    node's values arrive at its split already sorted (stable
+    partitioning preserves relative order, and the initial stable sort
+    breaks ties by row -- the exact permutation the scalar path's
+    per-node ``argsort(values, kind="stable")`` produces).  All nodes
+    of one depth are processed per sweep; per-node sums/cumsums run on
+    the same gathered arrays in the same order as the scalar path, so
+    masses, split choices and the resulting tree are bit-identical.
+    Cell ids are assigned by replaying the scalar stack order over the
+    finished tree.
+    """
+    n, dims = coords.shape
+    root_box = domain.full_box() if domain is not None else None
+    root = KDNode(mass=float(masses.sum()), box=root_box)
+    rows = np.arange(n)
+    orders = [np.argsort(coords[:, a], kind="stable") for a in range(dims)]
+    side = np.empty(n, dtype=bool)  # per-level split side of each point
+    level: List[Tuple[KDNode, int, int]] = [(root, 0, n)]
+    depth = 0
+    while level:
+        next_level: List[Tuple[KDNode, int, int]] = []
+        for node, start, end in level:
+            seg = rows[start:end]
+            node.mass = float(masses[seg].sum())
+            if node.mass <= leaf_mass or seg.size <= 1:
+                node.indices = seg.copy()
+                continue
+            split = None
+            for offset in range(dims):
+                axis = (depth + offset) % dims
+                order_seg = orders[axis][start:end]
+                values = coords[order_seg, axis]  # presorted ascending
+                if split_rule == "midpoint":
+                    lo, hi = node.box.side(axis)
+                    if lo >= hi:
+                        continue
+                    mid = (lo + hi) // 2
+                    if values[0] > mid or values[-1] <= mid:
+                        continue
+                    split = (axis, mid)
+                    break
+                cut = _presorted_median_cut(values, masses[order_seg])
+                if cut is None:
+                    continue
+                split = (axis, cut[0])
+                break
+            if split is None:
+                # Every axis is constant on this cell: duplicate points.
+                node.indices = seg.copy()
+                continue
+            axis, split_value = split
+            node.axis = axis
+            node.split_value = split_value
+            left_box = right_box = None
+            if node.box is not None:
+                lo, hi = node.box.side(axis)
+                if lo <= split_value < hi:
+                    left_box, right_box = node.box.split(axis, split_value)
+                else:  # degenerate box side; children inherit the box
+                    left_box = right_box = node.box
+            node.left = KDNode(mass=0.0, box=left_box)
+            node.right = KDNode(mass=0.0, box=right_box)
+            # Stable-partition the row set and every axis order of this
+            # segment in place (both halves are gathered before the
+            # write-back, the slices being views into the same buffers).
+            # The split side of each point is scattered into a global
+            # boolean once, so the per-axis partitions gather one bool
+            # instead of re-comparing coordinates.
+            left_mask = coords[seg, axis] <= split_value
+            n_left = int(left_mask.sum())
+            side[seg] = left_mask
+            seg_left, seg_right = seg[left_mask], seg[~left_mask]
+            rows[start:start + n_left] = seg_left
+            rows[start + n_left:end] = seg_right
+            for a in range(dims):
+                order_seg = orders[a][start:end]
+                mask = side[order_seg]
+                part_left, part_right = order_seg[mask], order_seg[~mask]
+                orders[a][start:start + n_left] = part_left
+                orders[a][start + n_left:end] = part_right
+            next_level.append((node.left, start, start + n_left))
+            next_level.append((node.right, start + n_left, end))
+        level = next_level
+        depth += 1
+    # Cell ids in the scalar pop order (right child explored first).
+    next_cell_id = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            node.cell_id = next_cell_id
+            next_cell_id += 1
+        else:
+            stack.append(node.left)
+            stack.append(node.right)
     return root
 
 

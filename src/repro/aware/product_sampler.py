@@ -141,6 +141,7 @@ def product_aware_sample(
             domain=domain,
             leaf_mass=leaf_mass,
             split_rule=split_rule,
+            scalar=strict_seed,
         )
         aggregate = _aggregate_kd if strict_seed else _aggregate_kd_batched
         leftover = aggregate(tree, p, fractional, rng)

@@ -24,6 +24,7 @@ from repro.core.ipps import ipps_threshold
 from repro.structures.ranges import (
     Box,
     MultiRangeQuery,
+    QueryPlan,
     SortOrderCache,
     batch_query_sums,
 )
@@ -101,10 +102,15 @@ class SampleSummary:
         samples and dedicated summaries share the harness interface,
         but answers the whole battery in one broadcasted NumPy pass
         (:func:`repro.structures.ranges.batch_query_sums`) instead of a
-        per-query Python loop.  The sample's sort orders are cached on
-        first use, so repeated batteries skip the re-sort.
+        per-query Python loop.  The sample's sort orders -- and the
+        battery's compiled query plan -- are cached on first use, so
+        repeated batteries skip both the re-sort and the re-stack; a
+        pre-compiled :class:`~repro.structures.ranges.QueryPlan` passes
+        straight through.
         """
-        queries = list(queries)
+        queries = (
+            queries if isinstance(queries, QueryPlan) else list(queries)
+        )
         if self.size == 0:
             return [0.0] * len(queries)
         return batch_query_sums(

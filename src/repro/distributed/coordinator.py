@@ -44,6 +44,7 @@ from repro.engine.builder import (
 from repro.engine.shard import shard_dataset
 from repro.stream.incremental import derive_seed
 from repro.stream.types import MicroBatch
+from repro.structures.ranges import compile_query_plan
 
 
 class DistributedError(RuntimeError):
@@ -564,10 +565,15 @@ class DistributedIngest:
     # Queries / introspection
     # ------------------------------------------------------------------
     def query_many_now(self, queries: Sequence) -> Dict[str, List[float]]:
-        """Live estimates for a query battery, per method."""
-        queries = list(queries)
+        """Live estimates for a query battery, per method.
+
+        The battery is compiled into one shared
+        :class:`~repro.structures.ranges.QueryPlan`, so the bounds
+        stacking is paid once rather than once per method.
+        """
+        plan = compile_query_plan(queries)
         return {
-            method: list(self.snapshot(method).query_many(queries))
+            method: list(self.snapshot(method).query_many(plan))
             for method in self._methods
         }
 

@@ -32,7 +32,7 @@ import numpy as np
 from repro.engine.builder import fold_snapshots
 from repro.stream.incremental import derive_seed, incremental_summary
 from repro.stream.types import MicroBatch
-from repro.structures.ranges import Box
+from repro.structures.ranges import Box, compile_query_plan
 
 
 @dataclass(frozen=True)
@@ -388,13 +388,17 @@ class StreamEngine:
     def query_many_now(self, queries: Sequence) -> Dict[str, List[float]]:
         """Live estimates for a whole query battery, per method.
 
-        Uses each folded snapshot's vectorized ``query_many``; between
-        batches both the fold and the snapshot's sort orders are
-        cached, so repeated batteries cost only the per-battery sweep.
+        The battery is compiled into one
+        :class:`~repro.structures.ranges.QueryPlan` and every method's
+        vectorized ``query_many`` consumes that same plan, so the
+        bounds stacking is paid once per battery rather than once per
+        method.  Between batches both the fold and each snapshot's
+        sort orders are cached, so repeated batteries cost only the
+        per-battery sweep.
         """
-        queries = list(queries)
+        plan = compile_query_plan(queries)
         return {
-            method: list(self.snapshot(method).query_many(queries))
+            method: list(self.snapshot(method).query_many(plan))
             for method in self._methods
         }
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+import numpy as np
+
 
 def dyadic_cell_interval(bits: int, depth: int, index: int) -> Tuple[int, int]:
     """Closed interval ``[lo, hi]`` of dyadic cell ``(depth, index)``."""
@@ -47,6 +49,70 @@ def dyadic_decompose_interval(lo: int, hi: int, bits: int) -> List[Tuple[int, in
         cells.append((depth, position >> (bits - depth)))
         position += size
     return cells
+
+
+def dyadic_decompose_intervals(
+    lows: np.ndarray, highs: np.ndarray, bits: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Canonical dyadic covers of many closed intervals at once.
+
+    The batched counterpart of :func:`dyadic_decompose_interval`: for
+    ``q`` intervals ``[lows[i], highs[i]]`` it returns three flat int64
+    arrays ``(depths, indices, owners)`` where cell ``k`` is the dyadic
+    cell ``(depths[k], indices[k])`` belonging to interval
+    ``owners[k]``.  Per interval the emitted cells form exactly the
+    scalar function's (unique, minimal) cover; cells are grouped by
+    depth, finest level first -- the layout the per-level sketch
+    kernels consume.
+
+    Vectorization: the classic bottom-up climb.  Per level, an interval
+    emits its left endpoint's cell when that endpoint is odd and its
+    right endpoint's cell when that endpoint is even, then both
+    endpoints shift up one level -- at most two cells per interval per
+    level across all ``q`` intervals in a handful of array ops, so the
+    total work is ``O(q * bits)`` with ``bits + 1`` NumPy passes
+    instead of ``O(q)`` Python loops.
+    """
+    lo = np.asarray(lows, dtype=np.int64).copy()
+    hi = np.asarray(highs, dtype=np.int64).copy()
+    if lo.shape != hi.shape or lo.ndim != 1:
+        raise ValueError("lows and highs must be matching 1-D arrays")
+    if (lo > hi).any():
+        raise ValueError("empty interval")
+    if lo.size and (lo.min() < 0 or hi.max() >= (1 << bits)):
+        raise ValueError("interval outside domain")
+    owners = np.arange(lo.size, dtype=np.int64)
+    out_depths: List[np.ndarray] = []
+    out_indices: List[np.ndarray] = []
+    out_owners: List[np.ndarray] = []
+    for depth in range(bits, -1, -1):
+        if lo.size == 0:
+            break
+        emit_lo = (lo & 1) == 1
+        if emit_lo.any():
+            out_depths.append(np.full(int(emit_lo.sum()), depth))
+            out_indices.append(lo[emit_lo])
+            out_owners.append(owners[emit_lo])
+        lo = lo + emit_lo
+        emit_hi = (hi & 1) == 0
+        if emit_hi.any():
+            out_depths.append(np.full(int(emit_hi.sum()), depth))
+            out_indices.append(hi[emit_hi])
+            out_owners.append(owners[emit_hi])
+        hi = hi - emit_hi
+        alive = lo <= hi
+        if not alive.all():
+            lo, hi, owners = lo[alive], hi[alive], owners[alive]
+        lo >>= 1
+        hi >>= 1
+    if not out_depths:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    return (
+        np.concatenate(out_depths),
+        np.concatenate(out_indices),
+        np.concatenate(out_owners),
+    )
 
 
 def dyadic_decompose_box(box, bits_per_axis) -> List[Tuple[Tuple[int, int], ...]]:

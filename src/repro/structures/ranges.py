@@ -4,6 +4,30 @@ All summaries in the library answer the same query type: the total
 weight of keys inside a :class:`Box` or a :class:`MultiRangeQuery`
 (a union of disjoint boxes).  Intervals use *closed* integer endpoints
 ``[lo, hi]`` so that a single leaf is the box with ``lo == hi``.
+
+Query-plan compiler
+-------------------
+Every vectorized ``query_many`` kernel consumes the same compiled form
+of a query battery, built once by :func:`compile_query_plan`:
+
+* the **flat** layout -- a ``(B, d, 2)`` bounds array over every
+  constituent box of every query in battery order, plus per-query box
+  ``counts``/``offsets`` (``B = counts.sum()``); per-box kernels sweep
+  the flat stack and :meth:`QueryPlan.reduce_boxes` folds per-box
+  values back onto queries.  This is the layout every shipped
+  ``query_many`` kernel consumes;
+* the **padded** layout -- a ``(q, r, d, 2)`` array with
+  ``r = max(counts)``: row ``i`` holds query ``i``'s boxes left-aligned
+  and is padded with the empty sentinel box ``lo=0, hi=-1`` (zero
+  volume, zero overlap with everything).  Exposed (lazily, cached) for
+  kernels that want per-query-aligned rectangular broadcasting instead
+  of ragged ``reduceat`` folds.
+
+Plans are cached at two levels: each :class:`Box` /
+:class:`MultiRangeQuery` memoizes its own stacked bounds (queries are
+immutable, so the memo is one-shot), and :class:`SortOrderCache` keeps
+the last compiled battery so repeated batteries over a snapshot skip
+even the concatenation.
 """
 
 from __future__ import annotations
@@ -43,6 +67,21 @@ class Box:
     def side(self, axis: int) -> Tuple[int, int]:
         """The closed interval on ``axis``."""
         return self.lows[axis], self.highs[axis]
+
+    def stacked_bounds(self) -> np.ndarray:
+        """This box as a ``(1, d, 2)`` bounds array (one-shot memo).
+
+        Boxes are immutable, so the stack is computed once and reused
+        by every battery the box appears in.
+        """
+        cached = self.__dict__.get("_bounds")
+        if cached is None:
+            cached = np.empty((1, self.dims, 2), dtype=np.int64)
+            cached[0, :, 0] = self.lows
+            cached[0, :, 1] = self.highs
+            cached.setflags(write=False)
+            object.__setattr__(self, "_bounds", cached)
+        return cached
 
     def contains_point(self, point: Sequence[int]) -> bool:
         """Whether a single coordinate tuple lies inside the box."""
@@ -178,6 +217,7 @@ class MultiRangeQuery:
         dims = self._boxes[0].dims
         if any(b.dims != dims for b in self._boxes):
             raise ValueError("all boxes must share dimensionality")
+        self._bounds: Optional[np.ndarray] = None
         self._disjoint: Optional[bool] = len(self._boxes) == 1 or None
         if check_disjoint:
             for i, a in enumerate(self._boxes):
@@ -207,6 +247,19 @@ class MultiRangeQuery:
     def boxes(self) -> Tuple[Box, ...]:
         """The constituent boxes."""
         return tuple(self._boxes)
+
+    def stacked_bounds(self) -> np.ndarray:
+        """The boxes as an ``(r, d, 2)`` bounds array (one-shot memo).
+
+        The box list never changes after construction, so the stack is
+        computed on first use and shared by every battery this query
+        appears in -- repeated batteries stop re-stacking bounds.
+        """
+        if self._bounds is None:
+            bounds = stack_boxes(self._boxes)
+            bounds.setflags(write=False)
+            self._bounds = bounds
+        return self._bounds
 
     @property
     def num_ranges(self) -> int:
@@ -278,27 +331,128 @@ def stack_boxes(boxes) -> np.ndarray:
                      highs.reshape(len(boxes), dims)), axis=2)
 
 
+class QueryPlan(Sequence):
+    """A compiled query battery: stacked bounds plus per-query offsets.
+
+    Built by :func:`compile_query_plan`; every vectorized ``query_many``
+    kernel consumes one.  The plan behaves as a read-only sequence of
+    the original query objects, so it can be handed to any code that
+    expects the raw battery (including the scalar fallback loop).
+
+    Layouts (see the module docstring):
+
+    * :attr:`bounds` -- flat ``(B, d, 2)`` stack of every constituent
+      box in battery order; :attr:`counts` / :attr:`offsets` delimit
+      each query's boxes; :meth:`reduce_boxes` folds per-box values
+      back onto queries.
+    * :meth:`padded` -- ``(q, r, d, 2)`` with ``r = max(counts)``,
+      left-aligned and padded with the empty sentinel box ``lo=0,
+      hi=-1`` (computed lazily, cached on the plan).
+    """
+
+    __slots__ = ("queries", "bounds", "counts", "offsets", "_padded")
+
+    def __init__(self, queries: List[Union[Box, MultiRangeQuery]]):
+        self.queries = queries
+        parts = [
+            query.stacked_bounds() for query in queries
+        ]
+        if parts:
+            dims = parts[0].shape[1]
+            if any(part.shape[1] != dims for part in parts):
+                raise ValueError("all queries must share dimensionality")
+            self.bounds = (
+                parts[0] if len(parts) == 1 else np.concatenate(parts)
+            )
+        else:
+            self.bounds = np.zeros((0, 0, 2), dtype=np.int64)
+        self.counts = np.asarray(
+            [part.shape[0] for part in parts], dtype=np.int64
+        )
+        self.offsets = np.concatenate(
+            ([0], np.cumsum(self.counts)[:-1])
+        ) if parts else np.zeros(0, dtype=np.int64)
+        self._padded: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __getitem__(self, index):
+        return self.queries[index]
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the battery (0 for an empty one)."""
+        return self.bounds.shape[1]
+
+    @property
+    def num_boxes(self) -> int:
+        """Total constituent boxes across the battery."""
+        return self.bounds.shape[0]
+
+    @property
+    def single_box(self) -> bool:
+        """Whether every query is a single box (flat == padded)."""
+        return bool((self.counts == 1).all()) if len(self.queries) else True
+
+    def padded(self) -> np.ndarray:
+        """The ``(q, r, d, 2)`` padded-bounds layout (lazy, cached).
+
+        Row ``i`` holds query ``i``'s boxes left-aligned; padding slots
+        are the empty sentinel ``lo=0, hi=-1``, whose overlap with any
+        box (and whose volume) is zero, so rectangular kernels need no
+        validity mask for additive contributions.
+        """
+        if self._padded is None:
+            q = len(self.queries)
+            r = int(self.counts.max()) if q else 0
+            padded = np.zeros((q, r, self.dims, 2), dtype=np.int64)
+            padded[:, :, :, 1] = -1
+            slot = (
+                np.arange(self.bounds.shape[0])
+                - np.repeat(self.offsets, self.counts)
+            )
+            padded[np.repeat(np.arange(q), self.counts), slot] = self.bounds
+            padded.setflags(write=False)
+            self._padded = padded
+        return self._padded
+
+    def reduce_boxes(self, per_box: np.ndarray) -> np.ndarray:
+        """Fold per-box values into per-query sums (additive unions)."""
+        per_box = np.asarray(per_box)
+        if self.single_box:
+            return per_box
+        return np.add.reduceat(per_box, self.offsets)
+
+
+def compile_query_plan(
+    queries: Union["QueryPlan", Iterable[Union[Box, MultiRangeQuery]]]
+) -> QueryPlan:
+    """Compile a battery into a :class:`QueryPlan` (idempotent).
+
+    A battery that is already a plan is returned as-is, so kernels can
+    unconditionally compile their input and callers that serve several
+    summaries from one battery (the stream engine, the frontend) pay
+    the stacking once.
+    """
+    if isinstance(queries, QueryPlan):
+        return queries
+    return QueryPlan(list(queries))
+
+
 def flatten_queries(
     queries: Sequence[Union[Box, MultiRangeQuery]]
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Flatten a battery of queries into stacked box bounds.
 
     Accepts any sequence (list, tuple, ...) whose elements are
-    :class:`Box` or :class:`MultiRangeQuery`.  Returns ``(bounds,
-    counts)`` where
+    :class:`Box` or :class:`MultiRangeQuery`, or an already-compiled
+    :class:`QueryPlan`.  Returns ``(bounds, counts)`` where
     ``bounds`` is the ``(B, d, 2)`` stack of every constituent box in
     order and ``counts[i]`` is the number of boxes of query ``i``.
     """
-    boxes: List[Box] = []
-    counts = np.empty(len(queries), dtype=np.int64)
-    for i, query in enumerate(queries):
-        if isinstance(query, Box):
-            boxes.append(query)
-            counts[i] = 1
-        else:
-            counts[i] = len(query.boxes)
-            boxes.extend(query.boxes)
-    return stack_boxes(boxes), counts
+    plan = compile_query_plan(queries)
+    return plan.bounds, plan.counts
 
 
 def batch_union_masks(queries, coords: np.ndarray) -> np.ndarray:
@@ -312,14 +466,13 @@ def batch_union_masks(queries, coords: np.ndarray) -> np.ndarray:
     coords = np.asarray(coords)
     if coords.ndim == 1:
         coords = coords.reshape(-1, 1)
-    bounds, counts = flatten_queries(queries)
-    if counts.size == 0:
+    plan = compile_query_plan(queries)
+    if plan.counts.size == 0:
         return np.zeros((0, coords.shape[0]), dtype=bool)
-    box_masks = Box.contains_many(coords, bounds)
-    if bool((counts == 1).all()):
+    box_masks = Box.contains_many(coords, plan.bounds)
+    if plan.single_box:
         return box_masks
-    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    return np.logical_or.reduceat(box_masks, offsets, axis=0)
+    return np.logical_or.reduceat(box_masks, plan.offsets, axis=0)
 
 
 def _dense_box_sums(
@@ -462,11 +615,13 @@ class SortOrderCache:
     snapshots through the same cache).
     """
 
-    __slots__ = ("_version", "_prepared")
+    __slots__ = ("_version", "_prepared", "_plan_key", "_plan")
 
     def __init__(self):
         self._version = None
         self._prepared = None
+        self._plan_key = None
+        self._plan = None
 
     def fetch(self, version, coords: np.ndarray, values: np.ndarray) -> dict:
         """The prepared orders for ``version``, computing on miss."""
@@ -475,10 +630,30 @@ class SortOrderCache:
             self._version = version
         return self._prepared
 
+    def fetch_plan(self, queries) -> "QueryPlan":
+        """The compiled :class:`QueryPlan` of a battery (one-slot memo).
+
+        Keyed by the identity of the query objects; the cached plan
+        holds strong references to them, so the ids stay valid for the
+        lifetime of the slot.  Repeated batteries of the same query
+        objects (the serving hot path) skip the stacking entirely;
+        plans are data-independent, so the slot survives version bumps.
+        """
+        if isinstance(queries, QueryPlan):
+            return queries
+        queries = list(queries)
+        key = tuple(map(id, queries))
+        if self._plan is None or self._plan_key != key:
+            self._plan = QueryPlan(queries)
+            self._plan_key = key
+        return self._plan
+
     def invalidate(self) -> None:
         """Drop the cached orders (e.g. after an in-place data change)."""
         self._version = None
         self._prepared = None
+        self._plan_key = None
+        self._plan = None
 
 
 def _batch_box_sums(
@@ -573,9 +748,18 @@ def batch_query_sums(
     :class:`SortOrderCache` together with a counter identifying the
     current ``(coords, values)`` snapshot, and the data's sort orders
     are reused across calls until the version changes.  The caller owns
-    the contract that a version uniquely identifies the snapshot.
+    the contract that a version uniquely identifies the snapshot.  The
+    cache also retains the last compiled :class:`QueryPlan`, so a
+    repeated battery of the same query objects skips the bounds
+    stacking too; alternatively pass a pre-compiled plan as
+    ``queries``.
     """
-    queries = list(queries)
+    plan = (
+        cache.fetch_plan(queries)
+        if cache is not None
+        else compile_query_plan(queries)
+    )
+    queries = plan.queries
     q = len(queries)
     coords = np.asarray(coords)
     if coords.ndim == 1:
@@ -583,30 +767,27 @@ def batch_query_sums(
     values = np.asarray(values, dtype=float)
     if q == 0:
         return np.zeros(0, dtype=float)
-    bounds, counts = flatten_queries(queries)
     if coords.shape[0] == 0:
         return np.zeros(q, dtype=float)
-    if bounds.shape[1] != coords.shape[1]:
+    if plan.dims != coords.shape[1]:
         raise ValueError(
-            f"dimensionality mismatch: boxes have {bounds.shape[1]} "
+            f"dimensionality mismatch: boxes have {plan.dims} "
             f"axes, coords have {coords.shape[1]}"
         )
     overlapping = [
         i
         for i, query in enumerate(queries)
-        if counts[i] > 1
+        if plan.counts[i] > 1
         and isinstance(query, MultiRangeQuery)
         and not query.boxes_disjoint
     ]
     prepared = (
         cache.fetch(version, coords, values) if cache is not None else None
     )
-    per_box = _batch_box_sums(bounds, coords, values, chunk_elems, prepared)
-    if bool((counts == 1).all()):
-        out = per_box
-    else:
-        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        out = np.add.reduceat(per_box, offsets)
+    per_box = _batch_box_sums(
+        plan.bounds, coords, values, chunk_elems, prepared
+    )
+    out = plan.reduce_boxes(per_box)
     for i in overlapping:  # rare: additive sum would double-count
         mask = queries[i].contains(coords)
         out[i] = float(values[mask].sum())

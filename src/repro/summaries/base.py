@@ -27,7 +27,23 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.structures.ranges import Box, MultiRangeQuery
+from repro.structures.ranges import Box, MultiRangeQuery, SortOrderCache
+
+
+def battery_plans(summary) -> SortOrderCache:
+    """The summary's lazily-created battery-plan memo.
+
+    Batched ``query_many`` kernels route their input through
+    ``battery_plans(self).fetch_plan(queries)`` so a repeated battery of
+    the same query objects skips the bounds stacking.  Created on first
+    use via ``__dict__`` (not in ``__init__``) because several summary
+    classes rebuild instances through ``object.__new__`` in their
+    ``merge`` / ``from_state`` paths.
+    """
+    cache = summary.__dict__.get("_plan_cache")
+    if cache is None:
+        cache = summary.__dict__["_plan_cache"] = SortOrderCache()
+    return cache
 
 
 def coerce_batch(

@@ -10,6 +10,7 @@ from repro.core.types import Dataset
 from repro.structures.ranges import (
     Box,
     MultiRangeQuery,
+    QueryPlan,
     SortOrderCache,
     batch_query_sums,
 )
@@ -130,11 +131,14 @@ class ExactSummary(Summary, IncrementalSummary):
     def query_many(self, queries: Sequence) -> List[float]:
         """Exact answers for a whole battery in one broadcasted pass.
 
-        Sort orders are cached per :attr:`version`, so repeated
-        batteries over an unchanged store skip the re-sort.
+        Sort orders are cached per :attr:`version` and the battery's
+        compiled query plan per query identity, so repeated batteries
+        over an unchanged store skip both the re-sort and the re-stack.
         """
         self._consolidate()
-        queries = list(queries)
+        queries = (
+            queries if isinstance(queries, QueryPlan) else list(queries)
+        )
         if self.size == 0:
             return [0.0] * len(queries)
         return batch_query_sums(

@@ -24,14 +24,23 @@ a monolithic build of the union.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.chain import run_starts
 from repro.core.types import Dataset
-from repro.structures.dyadic import dyadic_decompose_interval
+from repro.structures.dyadic import (
+    dyadic_decompose_interval,
+    dyadic_decompose_intervals,
+)
 from repro.structures.ranges import Box
-from repro.summaries.base import IncrementalSummary, Summary, coerce_batch
+from repro.summaries.base import (
+    IncrementalSummary,
+    Summary,
+    battery_plans,
+    coerce_batch,
+)
 
 _MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
 
@@ -392,3 +401,120 @@ class DyadicSketchSummary(Summary, IncrementalSummary):
             keys = np.asarray(cell_keys, dtype=np.uint64)
             total += float(self._sketches[pair].estimate_many(keys).sum())
         return total
+
+    # ------------------------------------------------------------------
+    # Batched queries
+    # ------------------------------------------------------------------
+    def query_many(self, queries: Iterable) -> List[float]:
+        """Estimates for a whole battery in one decomposition pass.
+
+        All query intervals are dyadically decomposed at once
+        (:func:`~repro.structures.dyadic.dyadic_decompose_intervals`),
+        cell ids are deduplicated across queries, and each level(-pair)
+        sketch is probed with exactly one :meth:`CountSketch.
+        estimate_many` call -- ``O(bits)`` (1-D) or ``O(bits^2)`` (2-D)
+        kernel calls for the whole battery instead of per query.
+        Answers match the scalar :meth:`query` up to floating-point
+        summation order.
+        """
+        plan = battery_plans(self).fetch_plan(queries)
+        if len(plan) == 0:
+            return []
+        if plan.dims != self._dims:
+            raise ValueError(
+                f"dimensionality mismatch: sketch is {self._dims}-D, "
+                f"queries are {plan.dims}-D"
+            )
+        bounds = plan.bounds
+        per_box = np.zeros(bounds.shape[0], dtype=float)
+        if self._dims == 1:
+            self._accumulate_1d(bounds, np.arange(bounds.shape[0]), per_box)
+        else:
+            # Cap the materialized rectangle count: a 2-D box yields up
+            # to (2 bits_x)(2 bits_y) rectangles.
+            per_box_rects = 4 * self._bits[0] * self._bits[1]
+            chunk = max(1, 4_000_000 // max(1, per_box_rects))
+            for start in range(0, bounds.shape[0], chunk):
+                stop = min(bounds.shape[0], start + chunk)
+                self._accumulate_2d(bounds[start:stop], start, per_box)
+        return plan.reduce_boxes(per_box).tolist()
+
+    def _accumulate_1d(
+        self, bounds: np.ndarray, owners: np.ndarray, per_box: np.ndarray
+    ) -> None:
+        """Add every box's 1-D estimate into ``per_box``."""
+        depths, cells, cell_owner = dyadic_decompose_intervals(
+            bounds[:, 0, 0], bounds[:, 0, 1], self._bits[0]
+        )
+        owner = owners[cell_owner]
+        for start, stop in _depth_runs(depths):
+            depth = int(depths[start])
+            keys = cells[start:stop].astype(np.uint64)
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            estimates = self._sketches[(depth,)].estimate_many(uniq)
+            np.add.at(per_box, owner[start:stop], estimates[inverse])
+
+    def _accumulate_2d(
+        self, bounds: np.ndarray, offset: int, per_box: np.ndarray
+    ) -> None:
+        """Add one chunk of boxes' 2-D estimates into ``per_box``.
+
+        The per-axis decompositions are crossed into rectangles with
+        repeat/rank arithmetic (no per-query Python), grouped by level
+        pair, and each level pair's packed cell ids are deduplicated
+        before the single ``estimate_many`` probe.
+        """
+        n_boxes = bounds.shape[0]
+        dx, ix, ox = dyadic_decompose_intervals(
+            bounds[:, 0, 0], bounds[:, 0, 1], self._bits[0]
+        )
+        dy, iy, oy = dyadic_decompose_intervals(
+            bounds[:, 1, 0], bounds[:, 1, 1], self._bits[1]
+        )
+        # Owner-major cell lists (decomposition output is depth-major).
+        x_order = np.argsort(ox, kind="stable")
+        dx, ix, ox = dx[x_order], ix[x_order], ox[x_order]
+        y_order = np.argsort(oy, kind="stable")
+        dy, iy = dy[y_order], iy[y_order]
+        cx = np.bincount(ox, minlength=n_boxes)
+        cy = np.bincount(oy[y_order], minlength=n_boxes)
+        counts_xy = cx * cy
+        total = int(counts_xy.sum())
+        rect_owner = np.repeat(np.arange(n_boxes), counts_xy)
+        # Rectangle k of box b is (x-cell k // cy[b], y-cell k % cy[b]).
+        rect_dx = np.repeat(dx, cy[ox])
+        rect_ix = np.repeat(ix, cy[ox])
+        xy_starts = np.concatenate(([0], np.cumsum(counts_xy)[:-1]))
+        rank = np.arange(total) - np.repeat(xy_starts, counts_xy)
+        y_starts = np.concatenate(([0], np.cumsum(cy)[:-1]))
+        pos = y_starts[rect_owner] + rank % cy[rect_owner]
+        rect_dy = dy[pos]
+        rect_iy = iy[pos]
+        packed = (rect_ix.astype(np.uint64) << np.uint64(32)) | rect_iy.astype(
+            np.uint64
+        )
+        pair_id = rect_dx * (self._bits[1] + 1) + rect_dy
+        order = np.argsort(pair_id, kind="stable")
+        pair_id = pair_id[order]
+        packed = packed[order]
+        owner = rect_owner[order] + offset
+        for start, stop in _depth_runs(pair_id):
+            pair = (
+                int(pair_id[start]) // (self._bits[1] + 1),
+                int(pair_id[start]) % (self._bits[1] + 1),
+            )
+            uniq, inverse = np.unique(packed[start:stop], return_inverse=True)
+            estimates = self._sketches[pair].estimate_many(uniq)
+            np.add.at(per_box, owner[start:stop], estimates[inverse])
+
+
+def _depth_runs(group_ids: np.ndarray):
+    """(start, stop) pairs of each run of equal values in ``group_ids``.
+
+    Thin generator over :func:`repro.core.chain.run_starts`, the shared
+    run-boundary helper.
+    """
+    starts = run_starts(group_ids)
+    stops = np.append(starts[1:], group_ids.size)
+    for start, stop in zip(starts, stops):
+        yield int(start), int(stop)

@@ -61,6 +61,7 @@ class KDPartition:
         guide_probs: np.ndarray,
         domain: Optional[ProductDomain] = None,
         split_rule: str = "median",
+        strict_seed: bool = False,
     ):
         guide_coords = np.atleast_2d(np.asarray(guide_coords))
         if guide_coords.shape[0] == 0:
@@ -71,6 +72,7 @@ class KDPartition:
             domain=domain,
             leaf_mass=1.0,
             split_rule=split_rule,
+            scalar=strict_seed,
         )
 
     def cell_of(self, key: Tuple[int, ...]) -> int:

@@ -25,7 +25,7 @@ from repro.core.aggregation import (
     included_indices,
     is_set,
 )
-from repro.core.chain import chain_aggregate
+from repro.core.chain import chain_aggregate, segmented_chain_aggregate
 from repro.core.estimator import SampleSummary
 from repro.core.ipps import StreamingThreshold, ipps_threshold
 from repro.core.types import Dataset
@@ -50,7 +50,9 @@ def _aggregate_tree_cells(
 
     Each leaf holds at most one active record; the shared kd walk
     (:func:`repro.aware.product_sampler.fold_kd_leftovers`)
-    pair-aggregates them up the partition tree.
+    pair-aggregates them up the partition tree.  This is the
+    historical scalar walk (``strict_seed=True``); the batched
+    pipeline uses :func:`_aggregate_tree_cells_batched`.
     """
     def leaf_leftover(leaf: KDNode) -> Optional[int]:
         idx = cell_to_index.get(leaf.cell_id)
@@ -59,6 +61,64 @@ def _aggregate_tree_cells(
         return idx
 
     return fold_kd_leftovers(root, leaf_leftover, p, rng)
+
+
+def _aggregate_tree_cells_batched(
+    root: KDNode,
+    cell_to_index: dict,
+    p: np.ndarray,
+    rng: np.random.Generator,
+) -> Optional[int]:
+    """Level-batched bottom-up aggregation of one record per kd cell.
+
+    Same pair structure as :func:`_aggregate_tree_cells` -- every
+    internal node pair-aggregates its two children's surviving
+    leftovers, children before parents -- but all internal nodes of one
+    depth resolve in a *single*
+    :func:`~repro.core.chain.segmented_chain_aggregate` call (their
+    pools are independent two-entry segments), so the walk costs one
+    kernel call per tree level instead of one ``aggregate_pool`` per
+    node.  The distribution is identical; only the RNG consumption
+    order differs from the scalar walk, which the ``strict_seed`` path
+    keeps.
+    """
+    by_depth: List[List[KDNode]] = []
+    stack: List[Tuple[KDNode, int]] = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if depth == len(by_depth):
+            by_depth.append([])
+        by_depth[depth].append(node)
+        if not node.is_leaf:
+            stack.append((node.left, depth + 1))
+            stack.append((node.right, depth + 1))
+    leftover_of = {}
+    for depth in range(len(by_depth) - 1, -1, -1):
+        internal: List[KDNode] = []
+        for node in by_depth[depth]:
+            if node.is_leaf:
+                idx = cell_to_index.get(node.cell_id)
+                leftover_of[id(node)] = (
+                    None if idx is None or is_set(float(p[idx])) else idx
+                )
+            else:
+                internal.append(node)
+        if not internal:
+            continue
+        pool: List[int] = []
+        starts = np.empty(len(internal), dtype=np.int64)
+        for i, node in enumerate(internal):
+            starts[i] = len(pool)
+            for child in (node.left, node.right):
+                idx = leftover_of.pop(id(child), None)
+                if idx is not None and not is_set(float(p[idx])):
+                    pool.append(idx)
+        leftovers = segmented_chain_aggregate(
+            p, np.asarray(pool, dtype=np.int64), starts, rng
+        )
+        for node, leftover in zip(internal, leftovers):
+            leftover_of[id(node)] = None if leftover < 0 else int(leftover)
+    return leftover_of.get(id(root))
 
 
 def _aggregate_hierarchy_records(
@@ -234,7 +294,7 @@ class TwoPassSampler:
         if kind == "kd":
             # KD cell codes are the leaf cell ids themselves.
             cell_to_index = {int(code): i for i, code in enumerate(codes)}
-            leftover = _aggregate_tree_cells(
+            leftover = _aggregate_tree_cells_batched(
                 partition.tree, cell_to_index, p, rng
             )
         elif kind == "ancestor":
@@ -309,6 +369,7 @@ class TwoPassSampler:
             return KDPartition(
                 coords, probs, domain=dataset.domain,
                 split_rule=self._split_rule,
+                strict_seed=self._strict_seed,
             )
         if kind in ("order", "linearized"):
             return OrderPartition([key[0] for key in guide_keys])
