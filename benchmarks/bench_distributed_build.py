@@ -1,11 +1,19 @@
 """Distributed build/serve benchmarks: multi-worker builds + serving.
 
-Three acceptance measurements for the distributed subsystem:
+Four acceptance measurements for the distributed subsystem:
 
 * **build scaling**: single-process ``build_sharded`` vs 2/4/8-worker
-  ``distributed_build`` over the multiprocessing transport -- the
-  distributed path must (a) produce *identical* answers with the same
-  seed and (b) beat the single-process wall time on multi-core hosts.
+  ``distributed_build`` over the multiprocessing and shared-memory
+  transports -- the distributed path must (a) produce *identical*
+  answers with the same seed and (b) beat the single-process wall
+  time on multi-core hosts.  Fleet startup is timed separately
+  (``fleet_start_s``): production coordinators are long-lived, so the
+  build timing is against a warm fleet.
+* **wire bytes**: every mode records what actually crossed the wire
+  (``bytes_on_wire``/``frames_sent``/``shm_bytes``), and the
+  ``wire-codec`` records price the exact build-task frames raw vs
+  compressed -- the regression gate asserts compressed never exceeds
+  raw, and sorted int64 key frames must shrink >= 3x.
 * **wire overhead**: the in-process transport runs the full
   encode/ship/decode path with zero process cost, isolating what the
   codec itself adds to a build.
@@ -23,8 +31,14 @@ import numpy as np
 from conftest import SMOKE, emit, emit_json, perf_assert
 from repro.datagen.network import NetworkConfig, generate_network_flows
 from repro.datagen.queries import uniform_area_queries
-from repro.distributed import QueryFrontend, distributed_build
+from repro.distributed import (
+    Coordinator,
+    QueryFrontend,
+    codec,
+    distributed_build,
+)
 from repro.engine.builder import build_sharded
+from repro.engine.shard import shard_dataset
 
 #: Large setting: enough rows that per-shard build work dominates the
 #: shard shipping cost (acceptance criterion for multi-worker speedup).
@@ -35,6 +49,7 @@ BUILD_CONFIG = NetworkConfig(
 )
 SAMPLE_SIZE = 200 if SMOKE else 2_000
 WORKER_COUNTS = [2] if SMOKE else [2, 4, 8]
+SHM_WORKERS = 2 if SMOKE else 4
 N_QUERIES = 100 if SMOKE else 1_000
 METHODS = ["obliv", "qdigest"]
 
@@ -51,9 +66,55 @@ class _StaticSupplier:
         return self._summary
 
 
+def _task_frame_bytes(method, data, num_shards=4):
+    """Exact build-task frame sizes for one build, raw vs compressed.
+
+    Mirrors the coordinator's task construction, so the two totals are
+    precisely what a 4-worker build ships with and without the v2
+    array codecs.
+    """
+    domain_spec = codec.encode_domain(data.domain)
+    raw = wire = 0
+    for index, shard in enumerate(shard_dataset(data, num_shards)):
+        task = {
+            "type": "build",
+            "method": method,
+            "size": int(SAMPLE_SIZE),
+            "seed": index,
+            "task_id": index,
+            "coords": shard.coords,
+            "weights": shard.weights,
+            "domain": domain_spec,
+        }
+        raw += len(codec.encode_message(task, compress=False))
+        wire += len(codec.encode_message(task))
+    return raw, wire
+
+
+def _warm_build(method, data, transport, workers):
+    """One build against a pre-started fleet; returns timing + result."""
+    start = time.perf_counter()
+    coord = Coordinator(transport, num_workers=workers)
+    fleet_start_s = time.perf_counter() - start
+    try:
+        start = time.perf_counter()
+        result = distributed_build(
+            method, data, SAMPLE_SIZE, np.random.default_rng(5),
+            num_workers=workers, coordinator=coord,
+        )
+        build_s = time.perf_counter() - start
+    finally:
+        coord.close()
+    return result, build_s, fleet_start_s
+
+
 def _build_benchmark(data):
     rows = []
     records = []
+    rng = np.random.default_rng(123)
+    battery = uniform_area_queries(
+        data.domain, 20, 3, max_fraction=0.1, rng=rng
+    )
     for method in METHODS:
         start = time.perf_counter()
         local = build_sharded(
@@ -61,14 +122,27 @@ def _build_benchmark(data):
             num_shards=4, parallel=False,
         )
         local_secs = time.perf_counter() - start
+        local_answers = local.summary.query_many(battery)
         rows.append((method, "local build_sharded(4, serial)", 1,
-                     local_secs, None))
+                     local_secs, None, None))
         records.append({
             "method": method, "mode": "local-serial",
             "workers": 1, "size": SAMPLE_SIZE, "n": data.n,
             "wall_time_s": local_secs,
             "throughput_per_s": data.n / max(local_secs, 1e-12),
         })
+
+        # What the build-task frames cost raw vs compressed (the v2
+        # codecs must never lose to the raw framing).
+        raw_bytes, wire_bytes = _task_frame_bytes(method, data)
+        assert wire_bytes <= raw_bytes
+        records.append({
+            "method": method, "mode": "wire-codec",
+            "size": SAMPLE_SIZE, "n": data.n,
+            "raw_bytes": raw_bytes, "bytes_on_wire": wire_bytes,
+            "compression_ratio": raw_bytes / max(wire_bytes, 1),
+        })
+
         start = time.perf_counter()
         wired = distributed_build(
             method, data, SAMPLE_SIZE, np.random.default_rng(5),
@@ -76,46 +150,78 @@ def _build_benchmark(data):
         )
         wired_secs = time.perf_counter() - start
         rows.append((method, "inprocess wire (codec overhead)", 4,
-                     wired_secs, None))
+                     wired_secs, None, wired.bytes_on_wire))
         records.append({
             "method": method, "mode": "inprocess-wire",
             "workers": 4, "size": SAMPLE_SIZE, "n": data.n,
             "wall_time_s": wired_secs,
             "throughput_per_s": data.n / max(wired_secs, 1e-12),
+            "bytes_on_wire": wired.bytes_on_wire,
+            "frames_sent": wired.frames_sent,
         })
-        best_mp = None
+
+        best_dist = None
         for workers in WORKER_COUNTS:
-            start = time.perf_counter()
-            dist = distributed_build(
-                method, data, SAMPLE_SIZE, np.random.default_rng(5),
-                num_workers=workers, transport="multiprocessing",
+            dist, dist_secs, fleet_secs = _warm_build(
+                method, data, "multiprocessing", workers
             )
-            dist_secs = time.perf_counter() - start
-            best_mp = min(best_mp or dist_secs, dist_secs)
-            rows.append((method, "multiprocessing", workers, dist_secs,
-                         dist.retries))
+            best_dist = min(best_dist or dist_secs, dist_secs)
+            rows.append((method, "multiprocessing (warm fleet)", workers,
+                         dist_secs, dist.retries, dist.bytes_on_wire))
             records.append({
                 "method": method, "mode": "multiprocessing",
                 "workers": workers, "size": SAMPLE_SIZE, "n": data.n,
                 "wall_time_s": dist_secs,
                 "throughput_per_s": data.n / max(dist_secs, 1e-12),
+                "fleet_start_s": fleet_secs,
+                "bytes_on_wire": dist.bytes_on_wire,
+                "frames_sent": dist.frames_sent,
                 "retries": dist.retries,
             })
             if workers == 4:
                 # Same seed => same shard seeds, builders and fold:
                 # the distributed summary must answer identically.
-                rng = np.random.default_rng(123)
-                battery = uniform_area_queries(
-                    data.domain, 20, 3, max_fraction=0.1, rng=rng
-                )
-                assert dist.summary.query_many(battery) == \
-                    local.summary.query_many(battery)
+                assert dist.summary.query_many(battery) == local_answers
+
+        shm, shm_secs, shm_fleet_secs = _warm_build(
+            method, data, "shared-memory", SHM_WORKERS
+        )
+        best_dist = min(best_dist, shm_secs)
+        rows.append((method, "shared-memory (warm fleet)", SHM_WORKERS,
+                     shm_secs, shm.retries, shm.bytes_on_wire))
+        records.append({
+            "method": method, "mode": "shared-memory",
+            "workers": SHM_WORKERS, "size": SAMPLE_SIZE, "n": data.n,
+            "wall_time_s": shm_secs,
+            "throughput_per_s": data.n / max(shm_secs, 1e-12),
+            "fleet_start_s": shm_fleet_secs,
+            "bytes_on_wire": shm.bytes_on_wire,
+            "frames_sent": shm.frames_sent,
+            "shm_bytes": shm.shm_bytes,
+            "retries": shm.retries,
+        })
+        if SHM_WORKERS == 4:
+            assert shm.summary.query_many(battery) == local_answers
+
         records.append({
             "method": method, "mode": "speedup",
             "size": SAMPLE_SIZE, "n": data.n,
-            "local_s": local_secs, "best_mp_s": best_mp,
-            "speedup": local_secs / max(best_mp, 1e-12),
+            "local_s": local_secs, "best_mp_s": best_dist,
+            "speedup": local_secs / max(best_dist, 1e-12),
         })
+    # The headline wire criterion: sorted int64 key frames (the shape
+    # shard coordinates ship in after contiguous sharding) must
+    # compress >= 3x under the delta+varint codec.
+    keys = np.sort(np.ascontiguousarray(data.coords[:, 0]))
+    raw_keys = len(codec.encode_value(keys, compress=False))
+    wire_keys = len(codec.encode_value(keys))
+    assert raw_keys >= 3 * wire_keys, (raw_keys, wire_keys)
+    records.append({
+        "method": "sorted-int64-keys", "mode": "wire-codec",
+        "n": int(keys.shape[0]),
+        "raw_bytes": raw_keys, "bytes_on_wire": wire_keys,
+        "compression_ratio": raw_keys / max(wire_keys, 1),
+    })
     return rows, records
 
 
@@ -162,12 +268,22 @@ def test_distributed_build(results_dir):
         f"Distributed: shard builds over {data.n:,} flow keys "
         f"(s={SAMPLE_SIZE}, methods={'+'.join(METHODS)})",
     ]
-    for method, mode, workers, secs, retries in rows:
+    for method, mode, workers, secs, retries, wire in rows:
         note = f", retries={retries}" if retries else ""
+        wire_note = f", {wire:,} B wire" if wire is not None else ""
         lines.append(
             f"  {method:8s} {mode:32s} w={workers}: {secs:8.2f} s"
-            f" ({data.n / max(secs, 1e-12):,.0f} rows/s{note})"
+            f" ({data.n / max(secs, 1e-12):,.0f} rows/s"
+            f"{wire_note}{note})"
         )
+    for record in records:
+        if record["mode"] == "wire-codec":
+            lines.append(
+                f"  wire-codec {record['method']:18s}: "
+                f"{record['raw_bytes']:,} B raw -> "
+                f"{record['bytes_on_wire']:,} B "
+                f"({record['compression_ratio']:.1f}x)"
+            )
     lines += [
         "",
         f"Distributed: {serving['n_queries']}-query battery through "

@@ -43,6 +43,17 @@ MEASUREMENT_KEYS = frozenset({
     "repeat_throughput_per_s",
     "items_per_second",
     "speedup",
+    # Wire/transport accounting (bench_distributed_build): run-varying
+    # measurements, not identity.
+    "bytes_on_wire",
+    "raw_bytes",
+    "shm_bytes",
+    "frames_sent",
+    "compression_ratio",
+    "fleet_start_s",
+    "local_s",
+    "best_mp_s",
+    "retries",
 })
 
 #: Throughput fields accepted when a record carries no wall time
@@ -92,6 +103,29 @@ def load_records(directory: pathlib.Path) -> Dict[Tuple, float]:
             key = record_identity(payload.get("benchmark", path.stem), record)
             records[key] = seconds
     return records
+
+
+def check_wire_bytes(directory: pathlib.Path) -> list:
+    """Wire-size gate: compressed frames must never exceed raw frames.
+
+    Any fresh record carrying both ``bytes_on_wire`` and ``raw_bytes``
+    (the ``wire-codec`` records of the distributed benchmark) fails
+    when the compressed framing lost to the raw framing -- a size
+    property of the codec, deterministic across machines, so it is
+    gated without calibration.
+    """
+    failures = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text())
+        for record in payload.get("records", []):
+            if "bytes_on_wire" not in record or "raw_bytes" not in record:
+                continue
+            wire = int(record["bytes_on_wire"])
+            raw = int(record["raw_bytes"])
+            if wire > raw:
+                failures.append((payload.get("benchmark", path.stem),
+                                 record, wire, raw))
+    return failures
 
 
 def main(argv=None) -> int:
@@ -153,18 +187,24 @@ def main(argv=None) -> int:
         if adjusted > args.max_ratio:
             failures.append((key, adjusted))
 
+    wire_failures = check_wire_bytes(args.fresh)
     print(
         f"compared {len(compared)} records (calibration {calibration:.2f}x),"
         f" skipped {skipped} below {args.min_seconds}s,"
-        f" {len(failures)} regressions"
+        f" {len(failures)} regressions,"
+        f" {len(wire_failures)} wire-size violations"
     )
+    if wire_failures:
+        print("WIRE-SIZE VIOLATIONS (compressed > raw):")
+        for benchmark, record, wire, raw in wire_failures:
+            print(f"  {benchmark} {record.get('method')}/"
+                  f"{record.get('mode')}: {wire} > {raw} bytes")
     if failures:
         print("REGRESSIONS (> {:.1f}x calibrated slowdown):".format(
             args.max_ratio))
         for key, adjusted in failures:
             print(f"  {key[0]} {dict(key[1:])}: {adjusted:.2f}x")
-        return 1
-    return 0
+    return 1 if failures or wire_failures else 0
 
 
 if __name__ == "__main__":

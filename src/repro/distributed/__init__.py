@@ -10,10 +10,11 @@ Four layers turn the in-process engine into a multi-worker system:
   builds shard summaries (batch) or ingests micro-batch slices
   (streaming) and ships serialized summaries upstream.
 * :mod:`repro.distributed.coordinator` -- schedules workers over
-  pluggable transports (in-process, multiprocessing pipes, TCP
-  sockets), retries/reassigns failed tasks, and folds what comes back
-  with the mergeable-summary protocol: :func:`distributed_build` for
-  batch, :class:`DistributedIngest` for streams.
+  pluggable transports (in-process, multiprocessing pipes, shared
+  memory, TCP sockets), retries/reassigns failed tasks, and folds
+  what comes back with the mergeable-summary protocol:
+  :func:`distributed_build` for batch, :class:`DistributedIngest` for
+  streams.
 * :mod:`repro.distributed.frontend` -- :class:`QueryFrontend`: serves
   range-query batteries against the latest folded state with an LRU
   snapshot cache and per-snapshot sort-order reuse.
@@ -40,8 +41,10 @@ from repro.distributed.frontend import FrontendStats, QueryFrontend
 from repro.distributed.transport import (
     InProcessTransport,
     MultiprocessingTransport,
+    SharedMemoryTransport,
     TCPTransport,
     TransportError,
+    WireStats,
     make_transport,
     serve_worker,
 )
@@ -57,11 +60,13 @@ __all__ = [
     "InProcessTransport",
     "MultiprocessingTransport",
     "QueryFrontend",
+    "SharedMemoryTransport",
     "TCPTransport",
     "TransportError",
     "TruncatedPayloadError",
     "VersionMismatchError",
     "WIRE_VERSION",
+    "WireStats",
     "WorkerRuntime",
     "decode_message",
     "distributed_build",

@@ -5,7 +5,10 @@ raw bytes over pluggable transports (queues, pipes, sockets), so it
 needs a serialization layer that is
 
 * **compact** -- NumPy arrays travel as raw buffers plus a dtype/shape
-  header, not as pickled objects;
+  header, not as pickled objects, and large arrays are additionally
+  compressed with per-array codec flags (delta + zigzag varint for
+  int64 coordinate arrays, byte-shuffle + zlib for float64 weights)
+  whenever that actually saves bytes;
 * **versioned** -- every frame starts with a magic marker and a format
   version byte, so a reader can reject frames from an incompatible
   peer instead of mis-parsing them;
@@ -27,12 +30,21 @@ Two layers:
 * :func:`to_bytes` / :func:`from_bytes` -- summary frames: magic +
   version + wire tag + the encoded ``to_state()`` dict of the summary
   (the codec hooks registered next to each summary class).
+
+Wire version 2 adds the coded-array tag (see ``WIRE_FORMAT.md``);
+encoding with ``compress=False`` emits byte-identical version-1 frames,
+and this reader decodes both versions.  Decoding with ``copy=False``
+returns read-only ``np.frombuffer`` views into the frame for raw
+arrays instead of copying -- callers opt in when the frame outlives
+the arrays (immutable ``bytes`` frames do; reused shared-memory
+segments do not).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Tuple
+import zlib
+from typing import Any, Tuple, Union
 
 import numpy as np
 
@@ -48,7 +60,23 @@ from repro.structures.product import ProductDomain
 #: Frame magic for summary frames ("RePro SUMmary").
 MAGIC = b"RSUM"
 #: Current wire format version.  Bump on any incompatible change.
-WIRE_VERSION = 1
+WIRE_VERSION = 2
+#: The last wire version whose frames carried only raw arrays; frames
+#: encoded with ``compress=False`` are stamped (and stay byte-identical
+#: to) this version, so version-1 readers can still be fed by this
+#: writer.
+RAW_WIRE_VERSION = 1
+#: Versions this reader decodes.
+SUPPORTED_WIRE_VERSIONS = frozenset({1, 2})
+
+#: Per-array codec ids carried by the coded-array tag.
+CODEC_RAW = 0
+CODEC_DELTA_VARINT = 1
+CODEC_SHUFFLE_ZLIB = 2
+
+#: Arrays below this raw byte size always travel raw: the coded-array
+#: header plus codec overhead cannot pay for itself.
+_MIN_CODED_BYTES = 128
 
 _U8 = struct.Struct("<B")
 _U32 = struct.Struct("<I")
@@ -72,10 +100,216 @@ class TruncatedPayloadError(CodecError):
 
 
 # ----------------------------------------------------------------------
+# Array codecs
+# ----------------------------------------------------------------------
+
+def _encode_varints(values: np.ndarray) -> np.ndarray:
+    """LEB128-encode a uint64 vector into one uint8 payload.
+
+    Vectorized: per-value byte counts come from nine threshold
+    comparisons, byte offsets from one cumsum, and the payload is
+    assembled in at most ten per-byte-position passes.
+    """
+    if values.size == 0:
+        return np.empty(0, dtype=np.uint8)
+    lengths = np.ones(values.shape[0], dtype=np.int64)
+    for group in range(1, 10):
+        lengths += values >= (np.uint64(1) << np.uint64(7 * group))
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    payload = np.zeros(int(ends[-1]), dtype=np.uint8)
+    for byte_index in range(10):
+        mask = lengths > byte_index
+        if not mask.any():
+            break
+        chunk = (
+            (values[mask] >> np.uint64(7 * byte_index)) & np.uint64(0x7F)
+        ).astype(np.uint8)
+        more = (lengths[mask] - 1 > byte_index).astype(np.uint8)
+        payload[starts[mask] + byte_index] = chunk | (more << 7)
+    return payload
+
+
+def _decode_varints(payload: np.ndarray, expected: int) -> np.ndarray:
+    """Decode ``expected`` LEB128 values from a uint8 payload (strict)."""
+    if payload.size and payload[-1] & 0x80:
+        raise TruncatedPayloadError("varint payload ends mid-value")
+    ends = np.flatnonzero((payload & 0x80) == 0)
+    if ends.size != expected:
+        raise CodecError(
+            f"varint payload holds {ends.size} values, expected {expected}"
+        )
+    if expected == 0:
+        return np.empty(0, dtype=np.uint64)
+    starts = np.empty(expected, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    if int(lengths.max()) > 10:
+        raise CodecError("varint value exceeds 10 bytes")
+    values = np.zeros(expected, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for byte_index in range(10):
+            mask = lengths > byte_index
+            if not mask.any():
+                break
+            chunk = payload[starts[mask] + byte_index].astype(np.uint64)
+            values[mask] |= (
+                (chunk & np.uint64(0x7F)) << np.uint64(7 * byte_index)
+            )
+    return values
+
+
+def _delta_varint_encode(arr: np.ndarray) -> bytes:
+    """Delta + zigzag + varint payload for a 64-bit integer array.
+
+    Multi-dimensional arrays delta over the column-major (``F``) flat
+    order: coordinate arrays are ``(n, d)`` with each column
+    near-sorted, so column-wise deltas are the small ones.  All
+    arithmetic is modular uint64, hence wraparound-safe for any input.
+    """
+    flat = np.ravel(arr, order="F" if arr.ndim > 1 else "C")
+    bits = np.ascontiguousarray(flat).view(np.uint64)
+    with np.errstate(over="ignore"):
+        deltas = np.empty_like(bits)
+        deltas[:1] = bits[:1]
+        np.subtract(bits[1:], bits[:-1], out=deltas[1:])
+        signed = deltas.view(np.int64)
+        zigzag = ((signed << np.int64(1)) ^ (signed >> np.int64(63))).view(
+            np.uint64
+        )
+    return _encode_varints(zigzag).tobytes()
+
+
+def _delta_varint_decode(
+    payload: np.ndarray, dtype: np.dtype, shape: Tuple[int, ...]
+) -> np.ndarray:
+    count = 1
+    for dim in shape:
+        count *= dim
+    zigzag = _decode_varints(payload, count)
+    with np.errstate(over="ignore"):
+        signed = (
+            (zigzag >> np.uint64(1))
+            ^ (np.uint64(0) - (zigzag & np.uint64(1)))
+        )
+        bits = np.cumsum(signed, dtype=np.uint64)
+    arr = bits.view(dtype)
+    if len(shape) > 1:
+        return arr.reshape(shape, order="F")
+    return arr.reshape(shape)
+
+
+def _shuffle_zlib_encode(arr: np.ndarray) -> bytes:
+    """Byte-shuffle + zlib payload (float arrays).
+
+    Transposing the ``(n, itemsize)`` byte matrix groups same-position
+    bytes -- exponents with exponents -- which is what makes deflate
+    bite on floating-point data.
+    """
+    data = np.ascontiguousarray(arr)
+    itemsize = data.dtype.itemsize
+    planes = np.frombuffer(data.tobytes(), dtype=np.uint8)
+    shuffled = planes.reshape(-1, itemsize).T.tobytes()
+    return zlib.compress(shuffled, 1)
+
+
+def _shuffle_zlib_decode(
+    payload: np.ndarray, dtype: np.dtype, shape: Tuple[int, ...]
+) -> np.ndarray:
+    try:
+        shuffled = zlib.decompress(payload.tobytes())
+    except zlib.error as exc:
+        raise CodecError(f"corrupt compressed array payload: {exc}") from exc
+    count = 1
+    for dim in shape:
+        count *= dim
+    itemsize = dtype.itemsize
+    if len(shuffled) != count * itemsize:
+        raise CodecError(
+            f"compressed array decodes to {len(shuffled)} bytes, "
+            f"expected {count * itemsize}"
+        )
+    arr = np.empty(count, dtype=dtype)
+    arr.view(np.uint8).reshape(count, itemsize)[...] = (
+        np.frombuffer(shuffled, dtype=np.uint8).reshape(itemsize, count).T
+    )
+    return arr.reshape(shape)
+
+
+def encode_array(arr: np.ndarray, codec_id: int) -> bytes:
+    """The coded payload of ``arr`` under one specific codec id."""
+    if codec_id == CODEC_DELTA_VARINT:
+        return _delta_varint_encode(arr)
+    if codec_id == CODEC_SHUFFLE_ZLIB:
+        return _shuffle_zlib_encode(arr)
+    raise CodecError(f"unknown array codec id {codec_id}")
+
+
+def decode_array(
+    payload, dtype: np.dtype, shape: Tuple[int, ...], codec_id: int
+) -> np.ndarray:
+    """Decode one coded payload back into a (fresh, writable) array."""
+    raw = np.frombuffer(payload, dtype=np.uint8)
+    if codec_id == CODEC_DELTA_VARINT:
+        return _delta_varint_decode(raw, dtype, shape)
+    if codec_id == CODEC_SHUFFLE_ZLIB:
+        return _shuffle_zlib_decode(raw, dtype, shape)
+    raise CodecError(f"unknown array codec id {codec_id}")
+
+
+def choose_codec(arr: np.ndarray) -> Tuple[int, bytes]:
+    """Pick the smallest wire representation for one array.
+
+    Returns ``(codec_id, payload)``; ``(CODEC_RAW, b"")`` means no
+    codec beats the raw buffer (the payload is then ``arr.tobytes()``
+    under the raw tag).  A codec is kept only when its payload is
+    *strictly* smaller than raw, so coded frames are never larger.
+    """
+    if arr.nbytes < _MIN_CODED_BYTES:
+        return CODEC_RAW, b""
+    dtype_str = arr.dtype.str
+    if dtype_str in ("<i8", "<u8"):
+        payload = _delta_varint_encode(arr)
+        codec_id = CODEC_DELTA_VARINT
+    elif dtype_str in ("<f8", "<f4"):
+        payload = _shuffle_zlib_encode(arr)
+        codec_id = CODEC_SHUFFLE_ZLIB
+    else:
+        return CODEC_RAW, b""
+    if len(payload) < arr.nbytes:
+        return codec_id, payload
+    return CODEC_RAW, b""
+
+
+# ----------------------------------------------------------------------
 # Value codec
 # ----------------------------------------------------------------------
 
-def _encode_into(value: Any, out: list) -> None:
+def _encode_array_into(arr: np.ndarray, out: list, compress: bool) -> None:
+    arr = np.ascontiguousarray(arr)
+    dtype = arr.dtype.str.encode("ascii")
+    codec_id, payload = (
+        choose_codec(arr) if compress else (CODEC_RAW, b"")
+    )
+    if codec_id == CODEC_RAW:
+        out.append(b"a")
+    else:
+        out.append(b"A")
+    out.append(_U8.pack(len(dtype)))
+    out.append(dtype)
+    out.append(_U8.pack(arr.ndim))
+    for dim in arr.shape:
+        out.append(_U32.pack(dim))
+    if codec_id == CODEC_RAW:
+        out.append(arr.tobytes())
+    else:
+        out.append(_U8.pack(codec_id))
+        out.append(_U32.pack(len(payload)))
+        out.append(payload)
+
+
+def _encode_into(value: Any, out: list, compress: bool) -> None:
     if value is None:
         out.append(b"N")
     elif value is True:
@@ -109,47 +343,61 @@ def _encode_into(value: Any, out: list) -> None:
         out.append(_U32.pack(len(raw)))
         out.append(raw)
     elif isinstance(value, np.ndarray):
-        arr = np.ascontiguousarray(value)
-        dtype = arr.dtype.str.encode("ascii")
-        out.append(b"a")
-        out.append(_U8.pack(len(dtype)))
-        out.append(dtype)
-        out.append(_U8.pack(arr.ndim))
-        for dim in arr.shape:
-            out.append(_U32.pack(dim))
-        out.append(arr.tobytes())
+        _encode_array_into(value, out, compress)
     elif isinstance(value, (list, tuple)):
         out.append(b"l" if isinstance(value, list) else b"t")
         out.append(_U32.pack(len(value)))
         for item in value:
-            _encode_into(item, out)
+            _encode_into(item, out, compress)
     elif isinstance(value, dict):
         out.append(b"d")
         out.append(_U32.pack(len(value)))
         for key, item in value.items():
-            _encode_into(key, out)
-            _encode_into(item, out)
+            _encode_into(key, out, compress)
+            _encode_into(item, out, compress)
     else:
         raise CodecError(
             f"cannot encode {type(value).__name__} on the wire"
         )
 
 
-def encode_value(value: Any) -> bytes:
-    """Encode one value (summary state, message dict) to bytes."""
+def encode_value(value: Any, *, compress: bool = True) -> bytes:
+    """Encode one value (summary state, message dict) to bytes.
+
+    ``compress=False`` forces every array onto the raw tag -- the
+    output is then byte-identical to what a wire-version-1 writer
+    produced.
+    """
     out: list = []
-    _encode_into(value, out)
+    _encode_into(value, out, compress)
     return b"".join(out)
 
 
+def _as_buffer(data) -> Union[bytes, memoryview]:
+    """Normalize frame input without copying immutable/shared buffers."""
+    if isinstance(data, bytes):
+        return data
+    if isinstance(data, memoryview):
+        return data.cast("B")
+    # bytearray and friends are mutable: snapshot them.
+    return bytes(data)
+
+
 class _Reader:
-    """Cursor over a byte buffer with strict bounds checking."""
+    """Cursor over a byte buffer with strict bounds checking.
 
-    __slots__ = ("data", "pos")
+    Accepts ``bytes`` or a ``memoryview`` (shared-memory transports
+    hand frames over as views).  With ``copy=False`` raw arrays come
+    back as read-only views into the buffer; everything else is always
+    detached.
+    """
 
-    def __init__(self, data: bytes):
-        self.data = data
+    __slots__ = ("data", "pos", "copy")
+
+    def __init__(self, data, copy: bool = True):
+        self.data = _as_buffer(data)
         self.pos = 0
+        self.copy = copy
 
     def take(self, n: int) -> bytes:
         end = self.pos + n
@@ -160,13 +408,21 @@ class _Reader:
             )
         chunk = self.data[self.pos:end]
         self.pos = end
-        return chunk
+        return chunk if isinstance(chunk, bytes) else bytes(chunk)
 
     def u8(self) -> int:
         return _U8.unpack(self.take(1))[0]
 
     def u32(self) -> int:
         return _U32.unpack(self.take(4))[0]
+
+    def _array_header(self) -> Tuple[np.dtype, Tuple[int, ...], int]:
+        dtype = np.dtype(self.take(self.u8()).decode("ascii"))
+        shape = tuple(self.u32() for _ in range(self.u8()))
+        count = 1
+        for dim in shape:
+            count *= dim
+        return dtype, shape, count
 
     def value(self) -> Any:
         tag = self.take(1)
@@ -188,14 +444,29 @@ class _Reader:
         if tag == b"b":
             return self.take(self.u32())
         if tag == b"a":
-            dtype = np.dtype(self.take(self.u8()).decode("ascii"))
-            shape = tuple(self.u32() for _ in range(self.u8()))
-            count = 1
-            for dim in shape:
-                count *= dim
-            raw = self.take(count * dtype.itemsize)
-            # Copy: frombuffer views are read-only and pin the frame.
-            return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+            dtype, shape, count = self._array_header()
+            nbytes = count * dtype.itemsize
+            if self.pos + nbytes > len(self.data):
+                raise TruncatedPayloadError(
+                    f"array of {nbytes} bytes at offset {self.pos} "
+                    f"exceeds the frame"
+                )
+            arr = np.frombuffer(
+                self.data, dtype=dtype, count=count, offset=self.pos
+            ).reshape(shape)
+            self.pos += nbytes
+            if self.copy:
+                # Detached, writable -- safe whatever the frame's fate.
+                return arr.copy()
+            arr.flags.writeable = False
+            return arr
+        if tag == b"A":
+            dtype, shape, count = self._array_header()
+            codec_id = self.u8()
+            payload = self.take(self.u32())
+            # Coded payloads always decode into fresh writable arrays;
+            # the zero-copy opt-out only concerns the raw tag.
+            return decode_array(payload, dtype, shape, codec_id)
         if tag in (b"l", b"t"):
             items = [self.value() for _ in range(self.u32())]
             return items if tag == b"l" else tuple(items)
@@ -209,9 +480,13 @@ class _Reader:
         raise CodecError(f"unknown value tag {tag!r} at offset {self.pos - 1}")
 
 
-def decode_value(data: bytes) -> Any:
-    """Decode bytes produced by :func:`encode_value` (strict)."""
-    reader = _Reader(bytes(data))
+def decode_value(data, *, copy: bool = True) -> Any:
+    """Decode bytes produced by :func:`encode_value` (strict).
+
+    ``copy=False`` returns raw arrays as read-only views into ``data``
+    -- the caller guarantees the buffer outlives them.
+    """
+    reader = _Reader(data, copy=copy)
     value = reader.value()
     if reader.pos != len(reader.data):
         raise CodecError(
@@ -220,41 +495,48 @@ def decode_value(data: bytes) -> Any:
     return value
 
 
+def _check_version(version: int, what: str) -> None:
+    if version not in SUPPORTED_WIRE_VERSIONS:
+        supported = sorted(SUPPORTED_WIRE_VERSIONS)
+        raise VersionMismatchError(
+            f"{what} is wire version {version}, this reader speaks "
+            f"{supported}"
+        )
+
+
 # ----------------------------------------------------------------------
 # Summary frames
 # ----------------------------------------------------------------------
 
-def to_bytes(summary) -> bytes:
+def to_bytes(summary, *, compress: bool = True) -> bytes:
     """Serialize a summary into a versioned, self-describing frame.
 
     The summary's class must be registered with
     :func:`repro.engine.registry.register_codec`; its ``to_state()``
     hook provides the state, this layer provides the framing.
+    ``compress=False`` emits a byte-identical version-1 (all-raw)
+    frame -- used by zero-copy transports, where raw views beat any
+    decompression.
     """
     tag = registry.codec_tag(summary).encode("utf-8")
     if len(tag) > 255:
         raise CodecError("codec tag too long")
     return b"".join([
         MAGIC,
-        _U8.pack(WIRE_VERSION),
+        _U8.pack(WIRE_VERSION if compress else RAW_WIRE_VERSION),
         _U8.pack(len(tag)),
         tag,
-        encode_value(summary.to_state()),
+        encode_value(summary.to_state(), compress=compress),
     ])
 
 
-def from_bytes(data: bytes):
+def from_bytes(data, *, copy: bool = True):
     """Reconstruct a summary from a frame produced by :func:`to_bytes`."""
-    reader = _Reader(bytes(data))
+    reader = _Reader(data, copy=copy)
     magic = reader.take(4)
     if magic != MAGIC:
         raise CodecError(f"bad frame magic {magic!r}")
-    version = reader.u8()
-    if version != WIRE_VERSION:
-        raise VersionMismatchError(
-            f"frame is wire version {version}, this reader speaks "
-            f"{WIRE_VERSION}"
-        )
+    _check_version(reader.u8(), "frame")
     tag = reader.take(reader.u8()).decode("utf-8")
     cls = registry.codec_class(tag)
     state = reader.value()
@@ -309,29 +591,28 @@ def decode_domain(axes: list) -> ProductDomain:
 MSG_MAGIC = b"RMSG"
 
 
-def encode_message(message: dict) -> bytes:
+def encode_message(message: dict, *, compress: bool = True) -> bytes:
     """Frame one coordinator/worker control message."""
     if not isinstance(message, dict) or "type" not in message:
         raise CodecError("messages must be dicts with a 'type' field")
     return b"".join([
         MSG_MAGIC,
-        _U8.pack(WIRE_VERSION),
-        encode_value(message),
+        _U8.pack(WIRE_VERSION if compress else RAW_WIRE_VERSION),
+        encode_value(message, compress=compress),
     ])
 
 
-def decode_message(data: bytes) -> dict:
-    """Decode one control message frame."""
-    reader = _Reader(bytes(data))
+def decode_message(data, *, copy: bool = True) -> dict:
+    """Decode one control message frame.
+
+    ``copy=False`` returns raw arrays as read-only views into ``data``
+    (see :func:`decode_value`).
+    """
+    reader = _Reader(data, copy=copy)
     magic = reader.take(4)
     if magic != MSG_MAGIC:
         raise CodecError(f"bad message magic {magic!r}")
-    version = reader.u8()
-    if version != WIRE_VERSION:
-        raise VersionMismatchError(
-            f"message is wire version {version}, this reader speaks "
-            f"{WIRE_VERSION}"
-        )
+    _check_version(reader.u8(), "message")
     message = reader.value()
     if reader.pos != len(reader.data):
         raise CodecError(

@@ -51,6 +51,12 @@ class DistributedError(RuntimeError):
     """A distributed operation could not be completed."""
 
 
+#: Message types the coordinator fires and forgets.  Everything else
+#: expects a reply, which is what shared-memory transports key segment
+#: reclamation on.
+_NO_REPLY_TYPES = frozenset({"ingest", "shutdown", "exit"})
+
+
 def _default_workers() -> int:
     return max(1, min(os.cpu_count() or 1, _MAX_DEFAULT_WORKERS))
 
@@ -122,9 +128,7 @@ class Coordinator:
             return
         for worker_id in self.alive_workers():
             try:
-                self._transport.send(
-                    worker_id, codec.encode_message({"type": "shutdown"})
-                )
+                self.send(worker_id, {"type": "shutdown"})
             except TransportError:
                 pass
         self._transport.stop()
@@ -141,8 +145,20 @@ class Coordinator:
     # Messaging
     # ------------------------------------------------------------------
     def send(self, worker_id: int, message: dict) -> None:
-        """Ship one message to one worker (no reply expected here)."""
-        self._transport.send(worker_id, codec.encode_message(message))
+        """Encode and ship one message to one worker.
+
+        Reply-expecting messages on a zero-copy (shared-memory)
+        transport skip array compression: their frames never cross the
+        pipe, and the worker decodes raw arrays as views into the
+        segment, so raw is strictly cheaper than compressed there.
+        """
+        reply_expected = message.get("type") not in _NO_REPLY_TYPES
+        compress = not (reply_expected and self._transport.zero_copy)
+        self._transport.send(
+            worker_id,
+            codec.encode_message(message, compress=compress),
+            reply_expected=reply_expected,
+        )
 
     def gather(
         self,
@@ -288,7 +304,13 @@ class Coordinator:
 
 @dataclass
 class DistributedBuild:
-    """Outcome of a distributed build: folded summary plus provenance."""
+    """Outcome of a distributed build: folded summary plus provenance.
+
+    ``bytes_on_wire``/``frames_sent`` are this build's deltas of the
+    transport's :class:`~repro.distributed.transport.WireStats` (both
+    directions); ``shm_bytes`` counts payloads that moved out-of-band
+    through shared memory instead.
+    """
 
     summary: object
     num_workers: int
@@ -296,6 +318,9 @@ class DistributedBuild:
     transport: str
     shard_sizes: List[int] = field(default_factory=list)
     retries: int = 0
+    bytes_on_wire: int = 0
+    frames_sent: int = 0
+    shm_bytes: int = 0
 
 
 def distributed_build(
@@ -355,9 +380,16 @@ def distributed_build(
     coord = coordinator or Coordinator(
         transport, num_workers, max_retries=max_retries
     )
+    before = coord.transport.stats.snapshot()
     try:
         replies = coord.run_tasks(tasks)
-        summaries = [codec.from_bytes(reply["summary"]) for reply in replies]
+        # Reply frames are immutable bytes that live as long as any
+        # view of them: decode the shipped summaries zero-copy.
+        summaries = [
+            codec.from_bytes(reply["summary"], copy=False)
+            for reply in replies
+        ]
+        after = coord.transport.stats.snapshot()
     finally:
         if own:
             coord.close()
@@ -369,6 +401,12 @@ def distributed_build(
         transport=coord.transport.name,
         shard_sizes=[int(reply["size"]) for reply in replies],
         retries=coord.retries,
+        bytes_on_wire=(
+            after["bytes_sent"] - before["bytes_sent"]
+            + after["bytes_received"] - before["bytes_received"]
+        ),
+        frames_sent=after["frames_sent"] - before["frames_sent"],
+        shm_bytes=after["shm_bytes"] - before["shm_bytes"],
     )
 
 
@@ -537,7 +575,10 @@ class DistributedIngest:
         per_method: Dict[str, list] = {name: [] for name in self._methods}
         for reply in replies:
             for name, frame in reply["summaries"].items():
-                per_method[name].append(codec.from_bytes(frame))
+                # Snapshot frames are immutable bytes kept alive by
+                # their views: zero-copy decode feeds the frontend's
+                # LRU snapshot cache without duplicating state arrays.
+                per_method[name].append(codec.from_bytes(frame, copy=False))
         self._snap_cache = (self._version, per_method)
         return per_method
 

@@ -23,6 +23,13 @@ Keeping a handful of slots (not one) matters under interleaved
 multi-method serving: method A's battery must not evict method B's
 freshly sorted snapshot.
 
+Snapshots arriving from a distributed supplier are decoded zero-copy
+(``codec.from_bytes(..., copy=False)`` in
+:meth:`~repro.distributed.coordinator.DistributedIngest._collect`):
+the cached summary's raw arrays are read-only views into the received
+frame, which is safe here precisely because the cache never mutates a
+snapshot -- it only queries it.
+
 **Micro-batching.**  Query traffic usually arrives one query at a
 time; answering each alone forfeits the batched kernels.  With
 ``batch_size > 1`` the frontend collects submitted queries

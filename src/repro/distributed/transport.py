@@ -16,6 +16,14 @@ only in where the worker runs:
   TCP sockets (here: local worker processes dialing 127.0.0.1, but
   the framing and handshake are host-agnostic, so the same wire works
   across machines).
+* :class:`SharedMemoryTransport` -- same-host worker processes, but
+  large request frames land in :mod:`multiprocessing.shared_memory`
+  segments and only a tiny ``(name, length)`` descriptor crosses the
+  pipe: shard shipping is one mapped write instead of a pipe copy.
+
+Every transport tallies a :class:`WireStats` (frames/bytes in each
+direction, shared-memory bytes moved out-of-band), which is how the
+benchmarks account ``bytes_on_wire`` per mode.
 
 Failure model: a worker that dies (process exit, closed pipe, reset
 socket) is reported dead by :meth:`BaseTransport.alive`; frames it
@@ -34,6 +42,7 @@ from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
 _LEN = struct.Struct("<I")
+_U8 = struct.Struct("<B")
 
 #: Hard cap on a single frame (guards against a corrupt length header).
 MAX_FRAME_BYTES = 1 << 31
@@ -43,18 +52,58 @@ class TransportError(RuntimeError):
     """The transport cannot deliver frames (dead worker, closed pipe)."""
 
 
+class WireStats:
+    """Byte/frame counters one transport accumulates over its life.
+
+    ``bytes_sent``/``bytes_received`` count what actually crossed the
+    serialized channel (pipe, socket, or inline call); frames routed
+    through shared memory count their descriptor there and their
+    payload under ``shm_bytes`` -- the whole point of that transport
+    is that the payload never crosses the pipe.
+    """
+
+    __slots__ = (
+        "frames_sent", "bytes_sent", "frames_received", "bytes_received",
+        "shm_frames", "shm_bytes",
+    )
+
+    def __init__(self):
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.frames_received = 0
+        self.bytes_received = 0
+        self.shm_frames = 0
+        self.shm_bytes = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """The counters as a plain dict (benchmark records)."""
+        return {key: getattr(self, key) for key in self.__slots__}
+
+
 class BaseTransport:
     """Common surface: start N workers, send/poll frames, track deaths."""
 
     name = "?"
+    #: Whether frames reach workers without a serialized copy (shared
+    #: memory).  The coordinator skips array compression on such
+    #: transports: raw frames decode as zero-copy views, which beats
+    #: decompressing.
+    zero_copy = False
+
+    def __init__(self):
+        self.stats = WireStats()
 
     def start(self, num_workers: int) -> None:
         """Spawn/attach ``num_workers`` workers (ids ``0..n-1``)."""
         raise NotImplementedError
 
-    def send(self, worker_id: int, frame: bytes) -> None:
+    def send(
+        self, worker_id: int, frame: bytes, *, reply_expected: bool = True
+    ) -> None:
         """Ship one frame to a worker; raises :class:`TransportError`
-        if the worker is already dead."""
+        if the worker is already dead.  ``reply_expected`` is a routing
+        hint (shared-memory segment reclamation); most transports
+        ignore it."""
         raise NotImplementedError
 
     def poll(self, timeout: Optional[float]) -> List[Tuple[int, bytes]]:
@@ -103,6 +152,7 @@ class InProcessTransport(BaseTransport):
         self,
         handler_factory: Optional[Callable[[int], Callable]] = None,
     ):
+        super().__init__()
         self._handler_factory = handler_factory
         self._handlers: Dict[int, Callable] = {}
         self._inbox: deque = deque()
@@ -129,9 +179,13 @@ class InProcessTransport(BaseTransport):
         self._handlers = {k: factory(k) for k in range(num_workers)}
         self._n = num_workers
 
-    def send(self, worker_id: int, frame: bytes) -> None:
+    def send(
+        self, worker_id: int, frame: bytes, *, reply_expected: bool = True
+    ) -> None:
         if worker_id in self._dead:
             raise TransportError(f"worker {worker_id} is dead")
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += len(frame)
         try:
             reply = self._handlers[worker_id](frame)
         except TransportError:
@@ -143,6 +197,8 @@ class InProcessTransport(BaseTransport):
             self._dead.add(worker_id)
             return
         if reply is not None:
+            self.stats.frames_received += 1
+            self.stats.bytes_received += len(reply)
             self._inbox.append((worker_id, reply))
 
     def poll(self, timeout: Optional[float]) -> List[Tuple[int, bytes]]:
@@ -191,8 +247,12 @@ class MultiprocessingTransport(BaseTransport):
     """One process per worker, length-framed over multiprocessing pipes."""
 
     name = "multiprocessing"
+    #: Worker process entry point (subclass hook: the shared-memory
+    #: transport swaps in a descriptor-aware loop).
+    _worker_target = staticmethod(_pipe_worker_main)
 
     def __init__(self):
+        super().__init__()
         self._conns: Dict[int, multiprocessing.connection.Connection] = {}
         self._procs: Dict[int, multiprocessing.Process] = {}
         self._dead: set = set()
@@ -205,7 +265,7 @@ class MultiprocessingTransport(BaseTransport):
         for worker_id in range(num_workers):
             parent, child = ctx.Pipe()
             proc = ctx.Process(
-                target=_pipe_worker_main, args=(child,), daemon=True
+                target=type(self)._worker_target, args=(child,), daemon=True
             )
             proc.start()
             child.close()
@@ -213,7 +273,9 @@ class MultiprocessingTransport(BaseTransport):
             self._procs[worker_id] = proc
         self._n = num_workers
 
-    def send(self, worker_id: int, frame: bytes) -> None:
+    def send(
+        self, worker_id: int, frame: bytes, *, reply_expected: bool = True
+    ) -> None:
         if not self.alive(worker_id):
             raise TransportError(f"worker {worker_id} is dead")
         try:
@@ -223,6 +285,8 @@ class MultiprocessingTransport(BaseTransport):
             raise TransportError(
                 f"worker {worker_id} pipe broken: {exc}"
             ) from exc
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += len(frame)
 
     def poll(self, timeout: Optional[float]) -> List[Tuple[int, bytes]]:
         conns = {
@@ -242,6 +306,9 @@ class MultiprocessingTransport(BaseTransport):
                 frames.append((worker_id, conn.recv_bytes()))
             except (EOFError, OSError):
                 self._dead.add(worker_id)
+        for _worker_id, frame in frames:
+            self.stats.frames_received += 1
+            self.stats.bytes_received += len(frame)
         return frames
 
     def alive(self, worker_id: int) -> bool:
@@ -276,6 +343,228 @@ class MultiprocessingTransport(BaseTransport):
                 proc.join(timeout=5)
         self._conns = {}
         self._procs = {}
+
+
+# ----------------------------------------------------------------------
+# Shared memory (same-host, zero-copy request payloads)
+# ----------------------------------------------------------------------
+
+#: Magic prefix of a shared-memory frame descriptor.  Inline frames
+#: start with the codec magics (``RSUM``/``RMSG``), so the two are
+#: unambiguous on the same pipe.
+SHM_DESC_MAGIC = b"SHMD"
+
+
+def _attach_segment(name: str):
+    """Attach to an existing segment without resource-tracker tracking.
+
+    ``SharedMemory(name=...)`` unconditionally registers the mapping
+    with the process's resource tracker (CPython bpo-38119; the
+    ``track=`` opt-out only exists from 3.13).  Segments here are
+    strictly coordinator-owned, and whether a worker's tracker is its
+    own or shared with the coordinator depends on start-method and
+    timing -- either way a worker-side registration ends in spurious
+    unlinks or double-unregister noise at exit.  Masking ``register``
+    for the duration of the attach keeps every tracker out of it.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def pack_shm_descriptor(name: str, length: int) -> bytes:
+    """A ``(segment name, frame length)`` descriptor frame."""
+    raw = name.encode("ascii")
+    return SHM_DESC_MAGIC + _U8.pack(len(raw)) + raw + _LEN.pack(length)
+
+
+def unpack_shm_descriptor(frame: bytes) -> Optional[Tuple[str, int]]:
+    """Parse a descriptor frame; ``None`` if ``frame`` is inline data."""
+    if frame[:4] != SHM_DESC_MAGIC:
+        return None
+    (name_len,) = _U8.unpack_from(frame, 4)
+    name = frame[5:5 + name_len].decode("ascii")
+    (length,) = _LEN.unpack_from(frame, 5 + name_len)
+    return name, length
+
+
+def _shm_worker_main(conn) -> None:
+    """Worker process entry: pipe frames plus shared-memory descriptors.
+
+    Attached segments are cached by name (the coordinator reuses
+    segments across requests).  The coordinator owns every segment and
+    unlinks them at :meth:`SharedMemoryTransport.stop`; the worker
+    attaches *untracked* (:func:`_attach_segment`) so no resource
+    tracker -- the worker's own or one shared with the coordinator --
+    ever unlinks or double-accounts an owned segment behind the
+    owner's back.
+    """
+    from repro.distributed.worker import WorkerRuntime
+
+    runtime = WorkerRuntime()
+    attached: Dict[str, object] = {}
+    try:
+        while True:
+            try:
+                frame = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            descriptor = unpack_shm_descriptor(frame)
+            if descriptor is not None:
+                name, length = descriptor
+                segment = attached.get(name)
+                if segment is None:
+                    segment = _attach_segment(name)
+                    attached[name] = segment
+                payload = segment.buf[:length]
+                try:
+                    # The runtime decodes zero-copy views into the
+                    # segment; nothing may retain them past the reply
+                    # (the coordinator reuses the segment as soon as
+                    # the reply lands), which holds because build
+                    # replies carry a freshly encoded summary frame.
+                    reply, stop = runtime.handle_frame(payload)
+                finally:
+                    payload.release()
+            else:
+                reply, stop = runtime.handle_frame(frame)
+            if reply is not None:
+                try:
+                    conn.send_bytes(reply)
+                except (BrokenPipeError, OSError):
+                    break
+            if stop:
+                break
+    finally:
+        for segment in attached.values():
+            try:
+                segment.close()
+            except (BufferError, OSError):
+                pass
+        conn.close()
+
+
+class _Segment:
+    """One coordinator-owned shared-memory segment."""
+
+    __slots__ = ("shm", "capacity", "in_use")
+
+    def __init__(self, shm, capacity: int):
+        self.shm = shm
+        self.capacity = capacity
+        self.in_use = False
+
+
+class SharedMemoryTransport(MultiprocessingTransport):
+    """Same-host workers; big request frames travel via shared memory.
+
+    Extends the pipe transport: frames below ``min_shm_bytes`` (and
+    all fire-and-forget frames) go inline, larger reply-expecting
+    frames are written into a pooled shared-memory segment and only a
+    :func:`pack_shm_descriptor` crosses the pipe.  Segment lifecycle
+    is strictly coordinator-owned:
+
+    * one pool per worker, power-of-two capacities, reused across
+      requests (workers cache their mappings by name);
+    * a worker handles frames sequentially, so its oldest outstanding
+      reply-expecting request is the one a reply answers -- the FIFO
+      ``_awaiting`` queue reclaims that request's segment when the
+      reply lands;
+    * a dead worker's segments simply stay unreclaimed until
+      :meth:`stop`, which closes and unlinks everything -- worker
+      death reports exactly as on the plain pipe transport.
+    """
+
+    name = "shared-memory"
+    zero_copy = True
+    _worker_target = staticmethod(_shm_worker_main)
+
+    #: Grow-only pool floor: segments are at least 1 MiB so repeated
+    #: mid-size frames never allocate.
+    _MIN_SEGMENT_BYTES = 1 << 20
+
+    def __init__(self, *, min_shm_bytes: int = 1 << 16):
+        super().__init__()
+        self._min_shm_bytes = int(min_shm_bytes)
+        self._segments: Dict[int, List[_Segment]] = {}
+        self._awaiting: Dict[int, deque] = {}
+
+    def _take_segment(self, worker_id: int, nbytes: int) -> _Segment:
+        from multiprocessing import shared_memory
+
+        pool = self._segments.setdefault(worker_id, [])
+        for segment in pool:
+            if not segment.in_use and segment.capacity >= nbytes:
+                segment.in_use = True
+                return segment
+        capacity = max(
+            self._MIN_SEGMENT_BYTES, 1 << max(0, nbytes - 1).bit_length()
+        )
+        shm = shared_memory.SharedMemory(create=True, size=capacity)
+        segment = _Segment(shm, capacity)
+        segment.in_use = True
+        pool.append(segment)
+        return segment
+
+    def send(
+        self, worker_id: int, frame: bytes, *, reply_expected: bool = True
+    ) -> None:
+        if not self.alive(worker_id):
+            raise TransportError(f"worker {worker_id} is dead")
+        queue = self._awaiting.setdefault(worker_id, deque())
+        if not reply_expected or len(frame) < self._min_shm_bytes:
+            super().send(worker_id, frame, reply_expected=reply_expected)
+            if reply_expected:
+                queue.append(None)
+            return
+        segment = self._take_segment(worker_id, len(frame))
+        segment.shm.buf[:len(frame)] = frame
+        descriptor = pack_shm_descriptor(segment.shm.name, len(frame))
+        try:
+            self._conns[worker_id].send_bytes(descriptor)
+        except (BrokenPipeError, OSError) as exc:
+            segment.in_use = False
+            self._dead.add(worker_id)
+            raise TransportError(
+                f"worker {worker_id} pipe broken: {exc}"
+            ) from exc
+        queue.append(segment)
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += len(descriptor)
+        self.stats.shm_frames += 1
+        self.stats.shm_bytes += len(frame)
+
+    def poll(self, timeout: Optional[float]) -> List[Tuple[int, bytes]]:
+        replies = super().poll(timeout)
+        for worker_id, _frame in replies:
+            queue = self._awaiting.get(worker_id)
+            if queue:
+                segment = queue.popleft()
+                if segment is not None:
+                    segment.in_use = False
+        return replies
+
+    def stop(self) -> None:
+        # Tear the fleet down first: workers drop their mappings on
+        # EOF, then the owner unlinks every segment exactly once.
+        super().stop()
+        for pool in self._segments.values():
+            for segment in pool:
+                try:
+                    segment.shm.close()
+                except (BufferError, OSError):
+                    pass
+                try:
+                    segment.shm.unlink()
+                except (FileNotFoundError, OSError):
+                    pass
+        self._segments = {}
+        self._awaiting = {}
 
 
 # ----------------------------------------------------------------------
@@ -351,6 +640,7 @@ class TCPTransport(BaseTransport):
         spawn_local: bool = True,
         accept_timeout: float = 30.0,
     ):
+        super().__init__()
         self._host = host
         self._port = port
         self._spawn_local = spawn_local
@@ -397,7 +687,9 @@ class TCPTransport(BaseTransport):
             self._socks[worker_id] = sock
         self._n = num_workers
 
-    def send(self, worker_id: int, frame: bytes) -> None:
+    def send(
+        self, worker_id: int, frame: bytes, *, reply_expected: bool = True
+    ) -> None:
         if not self.alive(worker_id):
             raise TransportError(f"worker {worker_id} is dead")
         try:
@@ -407,6 +699,8 @@ class TCPTransport(BaseTransport):
             raise TransportError(
                 f"worker {worker_id} socket broken: {exc}"
             ) from exc
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += len(frame) + _LEN.size
 
     def poll(self, timeout: Optional[float]) -> List[Tuple[int, bytes]]:
         socks = {
@@ -424,6 +718,9 @@ class TCPTransport(BaseTransport):
                 frames.append((worker_id, read_frame(sock)))
             except (EOFError, OSError, TransportError):
                 self._dead.add(worker_id)
+        for _worker_id, frame in frames:
+            self.stats.frames_received += 1
+            self.stats.bytes_received += len(frame) + _LEN.size
         return frames
 
     def alive(self, worker_id: int) -> bool:
@@ -471,6 +768,8 @@ TRANSPORTS: Dict[str, Callable[[], BaseTransport]] = {
     "inprocess": InProcessTransport,
     "multiprocessing": MultiprocessingTransport,
     "mp": MultiprocessingTransport,
+    "shared-memory": SharedMemoryTransport,
+    "shm": SharedMemoryTransport,
     "tcp": TCPTransport,
 }
 

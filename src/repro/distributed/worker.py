@@ -35,6 +35,12 @@ from repro.engine import registry
 from repro.stream.incremental import derive_seed, incremental_summary
 
 
+def _writable(value):
+    """A writable copy of a zero-copy decoded array (pass-through else)."""
+    arr = np.asarray(value)
+    return arr if arr.flags.writeable else arr.copy()
+
+
 class WorkerRuntime:
     """Per-worker state machine: handles one decoded message at a time."""
 
@@ -46,15 +52,21 @@ class WorkerRuntime:
     # ------------------------------------------------------------------
     # Frame plumbing
     # ------------------------------------------------------------------
-    def handle_frame(self, frame: bytes) -> Tuple[Optional[bytes], bool]:
+    def handle_frame(self, frame) -> Tuple[Optional[bytes], bool]:
         """Handle one message frame; returns ``(reply_frame, stop)``.
+
+        ``frame`` may be ``bytes`` or a ``memoryview`` (shared-memory
+        transports hand the mapped segment over directly).  Decoding is
+        zero-copy: raw arrays are read-only views into the frame, which
+        build tasks consume in place; handlers that retain state past
+        this call (``ingest``) copy what they keep.
 
         Undecodable frames produce an ``error`` reply rather than
         killing the worker: a protocol mismatch should surface at the
         coordinator, not as a silent death.
         """
         try:
-            message = codec.decode_message(frame)
+            message = codec.decode_message(frame, copy=False)
         except codec.CodecError as exc:
             reply = {"type": "error", "error": f"bad frame: {exc}"}
             return codec.encode_message(reply), False
@@ -152,8 +164,11 @@ class WorkerRuntime:
         if stream is None:
             return None
         try:
-            coords = message["coords"]
-            weights = message["weights"]
+            # Ingested batches outlive this frame (incremental
+            # summaries may retain slices), so detach them from the
+            # zero-copy decode before updating.
+            coords = _writable(message["coords"])
+            weights = _writable(message["weights"])
             for inc in stream["incs"].values():
                 inc.update(coords, weights)
             stream["items"] += int(np.asarray(weights).shape[0])

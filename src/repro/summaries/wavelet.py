@@ -98,45 +98,51 @@ def _basis_interval_sums(
     return out
 
 
-def _basis_interval_sums_many(
-    levels: np.ndarray,
-    indices: np.ndarray,
+def _axis_straddle_candidates(
+    level: int, lo: np.ndarray, hi: np.ndarray, bits: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Per-box candidate cells whose basis function can be nonzero.
+
+    A wavelet's basis sum over ``[lo, hi]`` is zero unless its dyadic
+    support contains one of the endpoints, so the only candidates at a
+    level are the endpoint cells -- the right one skipped when it
+    coincides with the left (interval inside one support).  The
+    scaling function always contributes, from its single cell 0.
+    Returns ``(cells, valid)`` pairs; ``valid`` is ``None`` for
+    unconditional candidates.
+    """
+    if level == SCALING_LEVEL:
+        return [(np.zeros(lo.shape[0], dtype=np.int64), None)]
+    shift = bits - level
+    k_lo = lo >> shift
+    k_hi = hi >> shift
+    return [(k_lo, None), (k_hi, k_hi != k_lo)]
+
+
+def _axis_basis_factors(
+    level: int,
+    cells: np.ndarray,
     lo: np.ndarray,
     hi: np.ndarray,
     bits: int,
 ) -> np.ndarray:
-    """``(b, s)`` basis sums of every coefficient over ``b`` intervals.
-
-    The broadcasted counterpart of :func:`_basis_interval_sums`; used
-    by the dense 2-D batched query kernel.
-    """
+    """Basis sums of the functions at ``(level, cells)`` over ``[lo, hi]``."""
     size = 1 << bits
-    lo = lo[:, None]
-    hi = hi[:, None]
-    out = np.zeros((lo.shape[0], levels.shape[0]), dtype=float)
-    scaling = levels == SCALING_LEVEL
-    out[:, scaling] = (hi - lo + 1) / math.sqrt(size)
-    wav = ~scaling
-    if not wav.any():
-        return out
-    lev = levels[wav]
-    idx = indices[wav]
-    span = np.left_shift(1, bits - lev)
+    if level == SCALING_LEVEL:
+        return (hi - lo + 1) / math.sqrt(size)
+    shift = bits - level
+    span = 1 << shift
     half = span >> 1
-    support_lo = idx * span
-    amp = np.sqrt(np.power(2.0, lev) / size)
+    amp = math.sqrt((1 << level) / size)
+    sup_lo = cells * span
     left_overlap = np.maximum(
-        0,
-        np.minimum(hi, support_lo + half - 1) - np.maximum(lo, support_lo) + 1,
+        0, np.minimum(hi, sup_lo + half - 1) - np.maximum(lo, sup_lo) + 1
     )
     right_overlap = np.maximum(
         0,
-        np.minimum(hi, support_lo + span - 1)
-        - np.maximum(lo, support_lo + half)
-        + 1,
+        np.minimum(hi, sup_lo + span - 1) - np.maximum(lo, sup_lo + half) + 1,
     )
-    out[:, wav] = (left_overlap - right_overlap) * amp
-    return out
+    return (left_overlap - right_overlap) * amp
 
 
 class WaveletSummary(Summary):
@@ -386,17 +392,19 @@ class WaveletSummary(Summary):
         return cached
 
     def query_many(self, queries: Iterable) -> List[float]:
-        """Estimates for a whole battery via stacked basis-sum kernels.
+        """Estimates for a whole battery via sparse straddle kernels.
 
-        1-D batteries use the sparse *straddle* kernel: a wavelet's
-        basis sum over an interval is exactly zero unless its (aligned,
-        dyadic) support contains one of the interval endpoints, so per
-        level only the (at most two) straddling coefficients can
-        contribute -- found with one ``searchsorted`` per level per
-        endpoint, ``O(q log s)`` total instead of ``O(q s)``.  2-D
-        batteries use the dense coefficient x query broadcast, chunked
-        over queries.  Answers match the scalar :meth:`query` up to
-        floating-point summation order.
+        Both dimensionalities use the sparse *straddle* kernel: a
+        wavelet's basis sum over an interval is exactly zero unless
+        its (aligned, dyadic) support contains one of the interval
+        endpoints, so per level only the (at most two) straddling
+        cells per axis can contribute.  1-D resolves the candidates
+        with one ``searchsorted`` per level per endpoint; 2-D packs
+        both cell indices into one int64 key and probes the at most
+        four endpoint-cell combinations per ``(level_x, level_y)``
+        group -- ``O(q log s)`` total instead of the ``O(q s)`` dense
+        coefficient x query broadcast.  Answers match the scalar
+        :meth:`query` up to floating-point summation order.
         """
         plan = battery_plans(self).fetch_plan(queries)
         if len(plan) == 0:
@@ -412,21 +420,7 @@ class WaveletSummary(Summary):
         if self._dims == 1:
             per_box = self._query_boxes_1d(bounds)
         else:
-            per_box = np.empty(bounds.shape[0], dtype=float)
-            chunk = max(1, 4_000_000 // max(1, self._c.shape[0]))
-            for start in range(0, bounds.shape[0], chunk):
-                stop = min(bounds.shape[0], start + chunk)
-                fx = _basis_interval_sums_many(
-                    self._lx, self._ix,
-                    bounds[start:stop, 0, 0], bounds[start:stop, 0, 1],
-                    self._bits[0],
-                )
-                fy = _basis_interval_sums_many(
-                    self._ly, self._iy,
-                    bounds[start:stop, 1, 0], bounds[start:stop, 1, 1],
-                    self._bits[1],
-                )
-                per_box[start:stop] = (self._c * fx * fy).sum(axis=1)
+            per_box = self._query_boxes_2d(bounds)
         return plan.reduce_boxes(per_box).tolist()
 
     def _query_boxes_1d(self, bounds: np.ndarray) -> np.ndarray:
@@ -473,4 +467,70 @@ class WaveletSummary(Summary):
                 per_box[boxes_hit] += (
                     (left_overlap - right_overlap) * amp * self._c[coeff]
                 )
+        return per_box
+
+    def _xy_group_lookup(self):
+        """Packed-key lookup per ``(level_x, level_y)`` group (2-D).
+
+        Returns ``{(lx, ly): (sorted packed keys, coefficient rows)}``
+        where a key packs both cell indices as ``(kx << bits_y) | ky``
+        -- the same packing the build-time transform uses.  Lazy
+        one-shot memo, same rationale as :meth:`_x_level_lookup`.
+        """
+        cached = self.__dict__.get("_group_lookup")
+        if cached is None:
+            shift = self._bits[1]
+            pairs = np.stack([self._lx, self._ly], axis=1)
+            uniq, inverse = np.unique(pairs, axis=0, return_inverse=True)
+            cached = {}
+            for g in range(uniq.shape[0]):
+                rows = np.flatnonzero(inverse == g)
+                packed = (self._ix[rows] << np.int64(shift)) | self._iy[rows]
+                order = np.argsort(packed)
+                key = (int(uniq[g, 0]), int(uniq[g, 1]))
+                cached[key] = (packed[order], rows[order])
+            self.__dict__["_group_lookup"] = cached
+        return cached
+
+    def _query_boxes_2d(self, bounds: np.ndarray) -> np.ndarray:
+        """Sparse per-group straddle kernel over a stack of 2-D boxes.
+
+        For each retained ``(level_x, level_y)`` group only the (at
+        most four) combinations of per-axis endpoint cells can yield a
+        nonzero tensor-product basis sum; each combination is one
+        packed-key ``searchsorted`` probe into the group's sorted
+        coefficients.
+        """
+        lo_x = bounds[:, 0, 0]
+        hi_x = bounds[:, 0, 1]
+        lo_y = bounds[:, 1, 0]
+        hi_y = bounds[:, 1, 1]
+        bits_x, bits_y = self._bits
+        per_box = np.zeros(bounds.shape[0], dtype=float)
+        for (lx, ly), (keys, rows) in self._xy_group_lookup().items():
+            for cx, valid_x in _axis_straddle_candidates(
+                lx, lo_x, hi_x, bits_x
+            ):
+                for cy, valid_y in _axis_straddle_candidates(
+                    ly, lo_y, hi_y, bits_y
+                ):
+                    packed = (cx << np.int64(bits_y)) | cy
+                    pos = np.searchsorted(keys, packed)
+                    pos_c = np.minimum(pos, keys.size - 1)
+                    hit = keys[pos_c] == packed
+                    if valid_x is not None:
+                        hit &= valid_x
+                    if valid_y is not None:
+                        hit &= valid_y
+                    idx = np.flatnonzero(hit)
+                    if idx.size == 0:
+                        continue
+                    coeff = self._c[rows[pos_c[idx]]]
+                    fx = _axis_basis_factors(
+                        lx, cx[idx], lo_x[idx], hi_x[idx], bits_x
+                    )
+                    fy = _axis_basis_factors(
+                        ly, cy[idx], lo_y[idx], hi_y[idx], bits_y
+                    )
+                    per_box[idx] += fx * fy * coeff
         return per_box

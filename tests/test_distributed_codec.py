@@ -242,6 +242,131 @@ class TestSummaryFrames:
             codec.to_bytes(Mystery())
 
 
+class TestCompressedCodecs:
+    """The v2 compressed array codecs: bit-exact, compact, compatible."""
+
+    @pytest.mark.parametrize("method", sorted(registry.available()))
+    def test_per_method_round_trip_both_wire_versions(self, method):
+        """Every summary survives both the compressed and raw framing."""
+        summary = registry.build(
+            method, dataset_for(method, seed=1), SIZE,
+            np.random.default_rng(0),
+        )
+        for compress in (True, False):
+            frame = codec.to_bytes(summary, compress=compress)
+            expected = (
+                codec.WIRE_VERSION if compress else codec.RAW_WIRE_VERSION
+            )
+            assert frame[4] == expected  # the version byte
+            decoded = codec.from_bytes(frame)
+            assert_state_equal(summary.to_state(), decoded.to_state())
+
+    def test_old_version_raw_frames_still_decode(self):
+        """``compress=False`` emits v1 frames -- the pre-codec format."""
+        message = {"type": "build", "coords": np.arange(4000).reshape(-1, 2)}
+        frame = codec.encode_message(message, compress=False)
+        assert frame[4] == codec.RAW_WIRE_VERSION == 1
+        back = codec.decode_message(frame)
+        np.testing.assert_array_equal(back["coords"], message["coords"])
+
+    def test_sorted_int64_compresses_3x(self):
+        # Dataset-shaped keys: sorted int64 over a 2^20 domain, so
+        # deltas are small -- the case the delta+varint codec targets.
+        rng = np.random.default_rng(0)
+        arr = np.sort(rng.integers(0, 1 << 20, size=20_000))
+        raw = codec.encode_value(arr, compress=False)
+        packed = codec.encode_value(arr)
+        assert len(raw) >= 3 * len(packed)
+        np.testing.assert_array_equal(codec.decode_value(packed), arr)
+
+    def test_each_codec_bit_exact(self):
+        """Direct array codec round trips, including extreme values."""
+        rng = np.random.default_rng(1)
+        info = np.iinfo(np.int64)
+        cases = [
+            (codec.CODEC_DELTA_VARINT,
+             np.array([info.min, -1, 0, 1, info.max] * 40)),
+            (codec.CODEC_DELTA_VARINT,
+             np.sort(rng.integers(-(1 << 62), 1 << 62, size=4000))),
+            (codec.CODEC_DELTA_VARINT,
+             rng.integers(0, 1 << 60, size=4000).astype(np.uint64)),
+            (codec.CODEC_DELTA_VARINT,
+             rng.integers(0, 4096, size=(500, 2))),
+            (codec.CODEC_DELTA_VARINT, np.empty(0, dtype=np.int64)),
+            (codec.CODEC_SHUFFLE_ZLIB, rng.pareto(1.4, size=4000)),
+            (codec.CODEC_SHUFFLE_ZLIB,
+             rng.normal(size=300).astype(np.float32)),
+        ]
+        for codec_id, arr in cases:
+            payload = codec.encode_array(arr, codec_id)
+            back = codec.decode_array(payload, arr.dtype, arr.shape, codec_id)
+            assert back.dtype == arr.dtype and back.shape == arr.shape
+            np.testing.assert_array_equal(back, arr)
+
+    def test_truncated_varint_payload_rejected(self):
+        arr = np.sort(np.random.default_rng(2).integers(0, 1 << 40, 1000))
+        payload = codec.encode_array(arr, codec.CODEC_DELTA_VARINT)
+        with pytest.raises(codec.CodecError):
+            codec.decode_array(
+                payload[:-3], arr.dtype, arr.shape, codec.CODEC_DELTA_VARINT
+            )
+
+    def test_varint_count_mismatch_rejected(self):
+        arr = np.arange(1000, dtype=np.int64)
+        payload = codec.encode_array(arr, codec.CODEC_DELTA_VARINT)
+        with pytest.raises(codec.CodecError):
+            codec.decode_array(
+                payload, arr.dtype, (999,), codec.CODEC_DELTA_VARINT
+            )
+
+    def test_corrupt_zlib_payload_rejected(self):
+        arr = np.random.default_rng(3).pareto(1.4, size=2000)
+        payload = bytearray(codec.encode_array(arr, codec.CODEC_SHUFFLE_ZLIB))
+        payload[len(payload) // 2] ^= 0xFF
+        with pytest.raises(codec.CodecError):
+            codec.decode_array(
+                bytes(payload), arr.dtype, arr.shape, codec.CODEC_SHUFFLE_ZLIB
+            )
+
+    def test_truncated_compressed_frame_rejected(self):
+        blob = codec.encode_value(
+            {"a": np.sort(np.random.default_rng(4).integers(0, 1 << 40,
+                                                            5000))}
+        )
+        for cut in (len(blob) // 2, len(blob) - 4):
+            with pytest.raises(codec.CodecError):
+                codec.decode_value(blob[:cut])
+
+    def test_unknown_codec_id_rejected(self):
+        with pytest.raises(codec.CodecError):
+            codec.decode_array(b"", np.dtype(np.int64), (0,), 99)
+
+    def test_zero_copy_raw_views(self):
+        """``copy=False`` hands back read-only views into the frame."""
+        arr = np.arange(50, dtype=np.int64)
+        frame = codec.encode_value(arr, compress=False)
+        view = codec.decode_value(frame, copy=False)
+        assert not view.flags.writeable
+        np.testing.assert_array_equal(view, arr)
+        # Default decode stays an independent writable copy.
+        writable = codec.decode_value(frame)
+        assert writable.flags.writeable
+        writable[0] = -1
+        np.testing.assert_array_equal(codec.decode_value(frame), arr)
+
+    def test_zero_copy_decoded_coded_arrays_stay_writable(self):
+        """Compressed arrays decode to fresh buffers -- always writable."""
+        arr = np.sort(np.random.default_rng(5).integers(0, 1 << 30, 5000))
+        view = codec.decode_value(codec.encode_value(arr), copy=False)
+        assert view.flags.writeable
+        np.testing.assert_array_equal(view, arr)
+
+    def test_small_arrays_stay_raw(self):
+        """Below the coding floor the raw tag wins (no per-array cost)."""
+        codec_id, _payload = codec.choose_codec(np.arange(4, dtype=np.int64))
+        assert codec_id == codec.CODEC_RAW
+
+
 class TestMessageFrames:
     def test_round_trip(self):
         message = {

@@ -116,6 +116,75 @@ class TestPerMethodEquivalence:
         assert merged._sorted_1d() is None  # overlapping: dense path
         assert merged.query_many(queries) == _reference(merged, queries)
 
+    def test_wavelet_2d_sparse_straddle_kernel(self):
+        """The packed-key 2-D straddle kernel matches scalar queries.
+
+        Pinned across 30 seeds with dense random batteries including
+        degenerate (single-cell) and full-domain boxes -- the
+        straddle-candidate enumeration must cover every basis function
+        a box can touch on both axes.
+        """
+        size = 1 << 6
+        for seed in SEEDS:
+            rng = np.random.default_rng(7000 + seed)
+            data = _dataset(rng, 2, size, n=400)
+            summary = build("wavelet", data, 150, np.random.default_rng(seed))
+            queries = _battery(rng, 2, size, n_queries=30)
+            queries += [
+                Box((0, 0), (size - 1, size - 1)),
+                Box((3, 5), (3, 5)),
+                Box((0, 0), (0, size - 1)),
+                Box((size // 2, 0), (size - 1, size // 2)),
+            ]
+            ref = _reference(summary, queries)
+            got = summary.query_many(queries)
+            scale = float(data.weights.sum())
+            np.testing.assert_allclose(
+                got, ref, rtol=1e-9, atol=1e-9 * scale,
+                err_msg=f"wavelet 2-D seed {seed}",
+            )
+            # The per-(level_x, level_y) lookup is a one-shot memo.
+            assert summary._xy_group_lookup() is summary._xy_group_lookup()
+
+    def test_qdigest_stream_interval_table_kernel(self):
+        """The sorted interval-table kernel matches scalar range sums.
+
+        Pinned across 30 seeds with varying compression cadences (so
+        the per-depth node layout differs) plus span-aligned,
+        single-point, and full-domain boxes -- the prefix-sum run and
+        the two endpoint-cell probes must partition every overlap.
+        """
+        from repro.summaries.qdigest_stream import StreamingQDigest
+
+        bits = 12
+        size = 1 << bits
+        for seed in SEEDS:
+            rng = np.random.default_rng(8000 + seed)
+            digest = StreamingQDigest(
+                bits, k=30, compress_every=101 + 13 * (seed % 5)
+            )
+            keys = rng.integers(0, size, size=3000)
+            weights = 1.0 + rng.pareto(1.3, size=3000)
+            digest.insert_many(keys, weights)
+            queries = _battery(rng, 1, size, n_queries=30)
+            queries += [
+                Box((0,), (size - 1,)),
+                Box((17,), (17,)),
+                Box((size // 4,), (size // 2 - 1,)),  # span-aligned
+                Box((size - 1,), (size - 1,)),
+            ]
+            ref = _reference(digest, queries)
+            got = digest.query_many(queries)
+            np.testing.assert_allclose(
+                got, ref, rtol=1e-9, atol=1e-9 * digest.total,
+                err_msg=f"qdigest-stream seed {seed}",
+            )
+            # Mutating the tree invalidates the cached table.
+            table = digest._interval_table()
+            assert digest._interval_table() is table
+            digest.insert(0, 1.0)
+            assert digest._interval_table() is not table
+
     def test_mismatched_dims_raise(self):
         rng = np.random.default_rng(0)
         data = _dataset(rng, 1, 1 << 8)
