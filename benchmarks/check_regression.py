@@ -54,6 +54,24 @@ MEASUREMENT_KEYS = frozenset({
     "local_s",
     "best_mp_s",
     "retries",
+    # Serving-tier measurements (bench_serving): latency percentiles,
+    # achieved/offered rates and queue telemetry all move with the
+    # machine, so none of them may enter record identity.
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "p999_ms",
+    "offered_per_s",
+    "achieved_per_s",
+    "closed_loop_per_s",
+    "saturation_per_s",
+    "speedup_vs_sync",
+    "shed",
+    "failed",
+    "flushes",
+    "flushes_size",
+    "flushes_deadline",
+    "max_queue_depth",
 })
 
 #: Throughput fields accepted when a record carries no wall time
@@ -128,6 +146,93 @@ def check_wire_bytes(directory: pathlib.Path) -> list:
     return failures
 
 
+#: Fields identifying one open-loop sweep point across machines (the
+#: offered rate itself is derived from the machine's measured
+#: throughput, so only its *factor* is stable identity).
+_SERVING_IDENTITY = ("kernel", "mode", "rate_factor", "batch_size")
+
+
+def _load_serving(directory: pathlib.Path) -> Tuple[dict, dict]:
+    """Open-loop sweep records and saturation rates from BENCH_serving."""
+    sweeps: dict = {}
+    saturations: dict = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text())
+        if payload.get("benchmark") != "serving":
+            continue
+        for record in payload.get("records", []):
+            if record.get("mode") == "open-loop":
+                key = tuple(
+                    (field, repr(record.get(field)))
+                    for field in _SERVING_IDENTITY
+                )
+                sweeps[key] = record
+            elif record.get("mode") == "saturation":
+                saturations[record.get("kernel")] = float(
+                    record.get("saturation_per_s", 0.0)
+                )
+    return sweeps, saturations
+
+
+def check_serving(
+    baseline_dir: pathlib.Path,
+    fresh_dir: pathlib.Path,
+    max_ratio: float,
+) -> Tuple[list, int]:
+    """Serving gate: calibrated p95 regressions + saturation collapse.
+
+    The generic wall-time gate cannot judge the open-loop records (a
+    latency percentile is not a wall time, and the per-record query
+    counts follow the machine's offered rates), so they get their own
+    comparison: sweep points are matched by (kernel, mode,
+    rate_factor, batch_size), the median p95 ratio calibrates the
+    machine-speed shift exactly like the main gate, and a point fails
+    on a calibrated p95 regression beyond ``max_ratio``.  Saturation
+    throughput additionally fails on any *collapse*: a calibrated drop
+    beyond ``max_ratio`` (or a zero fresh rate), however the latency
+    looks.
+    """
+    base_sweeps, base_sat = _load_serving(baseline_dir)
+    fresh_sweeps, fresh_sat = _load_serving(fresh_dir)
+    if not base_sweeps:
+        return [], 0
+    compared = []
+    for key, base in sorted(base_sweeps.items()):
+        fresh = fresh_sweeps.get(key)
+        if fresh is None:
+            continue
+        base_p95 = float(base.get("p95_ms", float("nan")))
+        fresh_p95 = float(fresh.get("p95_ms", float("nan")))
+        if not (base_p95 > 0) or fresh_p95 != fresh_p95:
+            continue
+        compared.append((key, base_p95, fresh_p95, fresh_p95 / base_p95))
+    calibration = 1.0
+    if compared:
+        ratios = sorted(ratio for _k, _b, _f, ratio in compared)
+        calibration = ratios[len(ratios) // 2]
+    failures = []
+    for key, base_p95, fresh_p95, ratio in compared:
+        adjusted = ratio / max(calibration, 1e-12)
+        if adjusted > max_ratio:
+            failures.append(
+                (f"{dict(key)}: p95 {base_p95:.2f}ms -> {fresh_p95:.2f}ms"
+                 f" ({adjusted:.2f}x calibrated)")
+            )
+    for kernel, base_rate in sorted(base_sat.items()):
+        fresh_rate = fresh_sat.get(kernel)
+        if fresh_rate is None or base_rate <= 0:
+            continue
+        # Throughput scales inversely with machine speed: reuse the
+        # latency calibration for the drop.
+        drop = base_rate / max(fresh_rate, 1e-9)
+        if fresh_rate <= 0 or drop / max(calibration, 1e-12) > max_ratio:
+            failures.append(
+                (f"{kernel}: saturation collapsed "
+                 f"{base_rate:,.0f} -> {fresh_rate:,.0f} q/s")
+            )
+    return failures, len(compared)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True, type=pathlib.Path,
@@ -188,12 +293,21 @@ def main(argv=None) -> int:
             failures.append((key, adjusted))
 
     wire_failures = check_wire_bytes(args.fresh)
+    serving_failures, serving_compared = check_serving(
+        args.baseline, args.fresh, args.max_ratio
+    )
     print(
         f"compared {len(compared)} records (calibration {calibration:.2f}x),"
         f" skipped {skipped} below {args.min_seconds}s,"
+        f" {serving_compared} serving sweep points,"
         f" {len(failures)} regressions,"
+        f" {len(serving_failures)} serving violations,"
         f" {len(wire_failures)} wire-size violations"
     )
+    if serving_failures:
+        print("SERVING VIOLATIONS (p95 regression / saturation collapse):")
+        for line in serving_failures:
+            print(f"  {line}")
     if wire_failures:
         print("WIRE-SIZE VIOLATIONS (compressed > raw):")
         for benchmark, record, wire, raw in wire_failures:
@@ -204,7 +318,7 @@ def main(argv=None) -> int:
             args.max_ratio))
         for key, adjusted in failures:
             print(f"  {key[0]} {dict(key[1:])}: {adjusted:.2f}x")
-    return 1 if failures or wire_failures else 0
+    return 1 if failures or wire_failures or serving_failures else 0
 
 
 if __name__ == "__main__":

@@ -18,6 +18,14 @@ from repro.datagen.queries import (
     uniform_weight_queries,
     equal_weight_cells,
 )
+from repro.datagen.serving import (
+    ReplayResult,
+    TrafficQuery,
+    latency_percentiles,
+    open_loop_schedule,
+    replay_open_loop,
+    tenant_traffic,
+)
 from repro.datagen.timeseries import (
     TimeSeriesConfig,
     generate_bursty_series,
@@ -44,4 +52,10 @@ __all__ = [
     "uniform_area_queries",
     "uniform_weight_queries",
     "equal_weight_cells",
+    "ReplayResult",
+    "TrafficQuery",
+    "latency_percentiles",
+    "open_loop_schedule",
+    "replay_open_loop",
+    "tenant_traffic",
 ]

@@ -1,0 +1,215 @@
+"""Multi-tenant query-traffic generation and open-loop replay.
+
+Serving systems are judged on tail latency under *open-loop* load:
+arrivals happen at the offered rate no matter how fast (or slow) the
+server answers, so queueing delay shows up in the measured latency
+instead of silently throttling the client (a closed-loop caller only
+submits after the previous answer lands, which hides saturation --
+the "coordinated omission" trap).  This module generates the traffic
+and replays it:
+
+* :func:`tenant_traffic` -- a Zipf-skewed multi-tenant query stream:
+  random interval queries over a 1-D domain, each tagged with a tenant
+  drawn Zipf(``exponent``) over ``n_tenants`` (tenant 0 is the heavy
+  hitter, matching real multi-tenant skew);
+* :func:`open_loop_schedule` -- Poisson arrival offsets for a fixed
+  offered rate (exponential inter-arrival gaps);
+* :func:`replay_open_loop` -- replay a traffic list against any
+  ``submit(method, query, tenant)`` callable at its scheduled times,
+  measuring each query's latency **from its scheduled arrival** (not
+  from when the replayer got around to submitting it) to when its
+  answer was resolved;
+* :func:`latency_percentiles` -- p50/p95/p99/p999 summary of a latency
+  sample, in milliseconds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datagen.distributions import zipf_choice
+from repro.structures.ranges import Box
+
+__all__ = [
+    "ReplayResult",
+    "TrafficQuery",
+    "tenant_traffic",
+    "open_loop_schedule",
+    "replay_open_loop",
+    "latency_percentiles",
+]
+
+
+@dataclass
+class TrafficQuery:
+    """One query in a generated traffic stream."""
+
+    method: str
+    query: Box
+    tenant: str
+
+
+def tenant_traffic(
+    size: int,
+    n_queries: int,
+    *,
+    methods: Sequence[str] = ("sketch",),
+    n_tenants: int = 8,
+    exponent: float = 1.2,
+    max_fraction: float = 0.1,
+    rng: Optional[np.random.Generator] = None,
+) -> List[TrafficQuery]:
+    """Zipf-skewed multi-tenant interval queries over a 1-D domain.
+
+    Each query is a random interval covering at most ``max_fraction``
+    of ``[0, size)``; its tenant is drawn Zipf(``exponent``) over
+    ``n_tenants`` (so tenant ``"t0"`` floods and the tail trickles)
+    and its method round-robins over ``methods``.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if n_queries < 1:
+        raise ValueError("n_queries must be >= 1")
+    lows = rng.integers(0, size, n_queries)
+    spans = rng.integers(0, max(1, int(size * max_fraction)), n_queries)
+    highs = np.minimum(lows + spans, size - 1)
+    tenants = zipf_choice(n_tenants, n_queries, exponent, rng)
+    return [
+        TrafficQuery(
+            method=methods[i % len(methods)],
+            query=Box((int(lo),), (int(hi),)),
+            tenant=f"t{int(tenant)}",
+        )
+        for i, (lo, hi, tenant) in enumerate(zip(lows, highs, tenants))
+    ]
+
+
+def open_loop_schedule(
+    n_arrivals: int,
+    rate_per_s: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Poisson arrival offsets (seconds) at a fixed offered rate.
+
+    Exponential inter-arrival gaps with mean ``1/rate_per_s``; the
+    returned offsets are relative to the replay's start.  A Poisson
+    process is the standard open-loop model: bursts happen naturally,
+    which is exactly what stresses the queue.
+    """
+    if rate_per_s <= 0:
+        raise ValueError("rate must be positive")
+    if rng is None:
+        rng = np.random.default_rng()
+    gaps = rng.exponential(1.0 / rate_per_s, size=n_arrivals)
+    return np.cumsum(gaps)
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one open-loop replay."""
+
+    latencies_ms: np.ndarray  # one per answered query
+    shed: int  # submissions refused by admission control
+    failed: int  # answers that raised (timeouts, kernel errors)
+    offered: int  # scheduled arrivals
+    answered: int  # len(latencies_ms)
+    duration_s: float  # first scheduled arrival -> last answer
+    achieved_per_s: float  # answered / duration
+
+    def as_dict(self) -> Dict[str, float]:
+        out = latency_percentiles(self.latencies_ms)
+        out.update({
+            "offered": self.offered,
+            "answered": self.answered,
+            "shed": self.shed,
+            "failed": self.failed,
+            "duration_s": round(self.duration_s, 4),
+            "achieved_per_s": round(self.achieved_per_s, 1),
+        })
+        return out
+
+
+def replay_open_loop(
+    submit: Callable,
+    traffic: Sequence[TrafficQuery],
+    offsets: Sequence[float],
+    *,
+    shed_errors: tuple = (),
+    result_timeout: float = 30.0,
+) -> ReplayResult:
+    """Replay ``traffic`` at its scheduled ``offsets`` (open loop).
+
+    ``submit(method, query, tenant)`` must return a handle with
+    ``result(timeout)`` and (optionally) a ``done_at`` monotonic stamp
+    -- the :class:`~repro.distributed.frontend.ServingFrontend`
+    surface.  Submissions never wait for earlier answers: the replayer
+    sleeps only until the next *scheduled* arrival, and when it falls
+    behind it submits the backlog immediately (the open-loop
+    contract).  Latency is measured from the scheduled arrival to the
+    answer's resolution stamp, so both queueing delay and replayer
+    scheduling lag count against the server, never in its favor.
+
+    Exceptions listed in ``shed_errors`` (e.g. ``OverloadError``) are
+    counted as shed instead of raised.
+    """
+    if len(traffic) != len(offsets):
+        raise ValueError("traffic and offsets must have equal length")
+    handles: List[Optional[object]] = []
+    start = time.monotonic()
+    for item, offset in zip(traffic, offsets):
+        ahead = start + float(offset) - time.monotonic()
+        if ahead > 0:
+            time.sleep(ahead)
+        try:
+            handles.append(submit(item.method, item.query, item.tenant))
+        except shed_errors:
+            handles.append(None)
+    latencies: List[float] = []
+    shed = failed = 0
+    last_done = start
+    for handle, offset in zip(handles, offsets):
+        if handle is None:
+            shed += 1
+            continue
+        try:
+            handle.result(result_timeout)
+        except Exception:
+            failed += 1
+            continue
+        done_at = getattr(handle, "done_at", None)
+        if done_at is None:
+            done_at = time.monotonic()
+        last_done = max(last_done, done_at)
+        latencies.append(done_at - (start + float(offset)))
+    duration = max(last_done - start, 1e-9)
+    return ReplayResult(
+        latencies_ms=np.asarray(latencies) * 1e3,
+        shed=shed,
+        failed=failed,
+        offered=len(traffic),
+        answered=len(latencies),
+        duration_s=duration,
+        achieved_per_s=len(latencies) / duration,
+    )
+
+
+def latency_percentiles(latencies_ms: np.ndarray) -> Dict[str, float]:
+    """p50/p95/p99/p999 of a latency sample, in milliseconds."""
+    if len(latencies_ms) == 0:
+        return {
+            "p50_ms": float("nan"), "p95_ms": float("nan"),
+            "p99_ms": float("nan"), "p999_ms": float("nan"),
+        }
+    p50, p95, p99, p999 = np.percentile(
+        latencies_ms, [50.0, 95.0, 99.0, 99.9]
+    )
+    return {
+        "p50_ms": round(float(p50), 3),
+        "p95_ms": round(float(p95), 3),
+        "p99_ms": round(float(p99), 3),
+        "p999_ms": round(float(p999), 3),
+    }

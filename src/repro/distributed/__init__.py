@@ -18,6 +18,17 @@ Four layers turn the in-process engine into a multi-worker system:
 * :mod:`repro.distributed.frontend` -- :class:`QueryFrontend`: serves
   range-query batteries against the latest folded state with an LRU
   snapshot cache and per-snapshot sort-order reuse.
+
+Two serving-tier layers ride on those (see ``SERVING.md``):
+
+* :mod:`repro.distributed.dispatch` -- :class:`AsyncDispatcher`: the
+  coordinator's non-blocking dispatch thread with bounded per-worker
+  queues, explicit :class:`Backpressure`, and per-request wire
+  accounting (every synchronous coordinator call is a thin wrapper
+  over it).
+* :class:`ServingFrontend` -- the long-lived multi-tenant query
+  service: concurrent ``submit()``, cross-supplier fan-out,
+  deadline + size flushing, admission control with shed-on-overload.
 """
 
 from repro.distributed.codec import (
@@ -37,7 +48,19 @@ from repro.distributed.coordinator import (
     DistributedIngest,
     distributed_build,
 )
-from repro.distributed.frontend import FrontendStats, QueryFrontend
+from repro.distributed.dispatch import (
+    AsyncDispatcher,
+    Backpressure,
+    DispatchStats,
+    ReplyFuture,
+)
+from repro.distributed.frontend import (
+    FrontendStats,
+    OverloadError,
+    QueryFrontend,
+    ServedAnswer,
+    ServingFrontend,
+)
 from repro.distributed.transport import (
     InProcessTransport,
     MultiprocessingTransport,
@@ -51,15 +74,22 @@ from repro.distributed.transport import (
 from repro.distributed.worker import WorkerRuntime
 
 __all__ = [
+    "AsyncDispatcher",
+    "Backpressure",
     "CodecError",
     "Coordinator",
+    "DispatchStats",
     "DistributedBuild",
     "DistributedError",
     "DistributedIngest",
     "FrontendStats",
     "InProcessTransport",
     "MultiprocessingTransport",
+    "OverloadError",
     "QueryFrontend",
+    "ReplyFuture",
+    "ServedAnswer",
+    "ServingFrontend",
     "SharedMemoryTransport",
     "TCPTransport",
     "TransportError",

@@ -21,6 +21,7 @@ Two entry points sit on top of the generic :class:`Coordinator`:
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -30,6 +31,11 @@ import numpy as np
 
 from repro.core.types import Dataset
 from repro.distributed import codec
+from repro.distributed.dispatch import (
+    AsyncDispatcher,
+    Backpressure,
+    ReplyFuture,
+)
 from repro.distributed.transport import (
     BaseTransport,
     TransportError,
@@ -64,11 +70,23 @@ def _default_workers() -> int:
 class Coordinator:
     """Generic message scheduler over a transport's worker fleet.
 
+    Since the async serving tier, every coordinator runs its transport
+    behind an :class:`~repro.distributed.dispatch.AsyncDispatcher` --
+    a selector thread with bounded per-worker request queues and
+    explicit backpressure -- and the synchronous API below
+    (:meth:`send` / :meth:`gather` / :meth:`run_tasks`) is a thin
+    wrapper that enqueues requests and waits on their futures.  The
+    observable behavior (retry semantics, error surfacing, and the
+    bit-exact build results) is unchanged; what the dispatch layer
+    adds is overlap: snapshot collection, ingest hand-off and query
+    fan-out from different threads now interleave on the wire instead
+    of serializing on one blocking ``send``.
+
     Parameters
     ----------
     transport:
         A transport name (``"inprocess"``, ``"multiprocessing"``/
-        ``"mp"``, ``"tcp"``) or a pre-built
+        ``"mp"``, ``"shared-memory"``, ``"tcp"``) or a pre-built
         :class:`~repro.distributed.transport.BaseTransport` instance
         (not yet started).
     num_workers:
@@ -82,6 +100,9 @@ class Coordinator:
     timeout:
         Overall deadline for one :meth:`run_tasks` / :meth:`gather`
         call.
+    max_inflight / max_pending:
+        Per-worker dispatch windows (see
+        :class:`~repro.distributed.dispatch.AsyncDispatcher`).
     """
 
     def __init__(
@@ -92,6 +113,8 @@ class Coordinator:
         max_retries: int = 2,
         poll_interval: float = 0.02,
         timeout: float = 600.0,
+        max_inflight: int = 2,
+        max_pending: int = 128,
     ):
         self._transport = make_transport(transport)
         self._num_workers = num_workers or _default_workers()
@@ -99,6 +122,15 @@ class Coordinator:
         self._poll_interval = float(poll_interval)
         self._timeout = float(timeout)
         self._transport.start(self._num_workers)
+        self._dispatcher = AsyncDispatcher(
+            self._transport,
+            max_inflight=max_inflight,
+            max_pending=max_pending,
+            poll_interval=min(self._poll_interval, 0.005),
+        )
+        #: Futures of :meth:`send` calls awaiting :meth:`gather`.
+        self._replies: List[ReplyFuture] = []
+        self._replies_lock = threading.Lock()
         self._closed = False
         #: Total task re-dispatches observed (provenance/monitoring).
         self.retries = 0
@@ -111,16 +143,17 @@ class Coordinator:
         return self._transport
 
     @property
+    def dispatcher(self) -> AsyncDispatcher:
+        """The non-blocking dispatch layer (async submission surface)."""
+        return self._dispatcher
+
+    @property
     def num_workers(self) -> int:
         return self._num_workers
 
     def alive_workers(self) -> List[int]:
-        """Ids of workers still reachable."""
-        return [
-            worker_id
-            for worker_id in range(self._num_workers)
-            if self._transport.alive(worker_id)
-        ]
+        """Ids of workers still reachable (the dispatcher's view)."""
+        return self._dispatcher.alive_workers()
 
     def close(self) -> None:
         """Shut the fleet down (idempotent)."""
@@ -131,6 +164,7 @@ class Coordinator:
                 self.send(worker_id, {"type": "shutdown"})
             except TransportError:
                 pass
+        self._dispatcher.stop()
         self._transport.stop()
         self._closed = True
 
@@ -144,21 +178,46 @@ class Coordinator:
     # ------------------------------------------------------------------
     # Messaging
     # ------------------------------------------------------------------
-    def send(self, worker_id: int, message: dict) -> None:
-        """Encode and ship one message to one worker.
+    def submit(
+        self,
+        worker_id: int,
+        message: dict,
+        *,
+        block: bool = True,
+        timeout: Optional[float] = 60.0,
+    ) -> Optional[ReplyFuture]:
+        """Non-blocking send: enqueue one message, get its future.
 
-        Reply-expecting messages on a zero-copy (shared-memory)
-        transport skip array compression: their frames never cross the
-        pipe, and the worker decodes raw arrays as views into the
-        segment, so raw is strictly cheaper than compressed there.
+        The async-path primitive.  Reply-expecting messages on a
+        zero-copy (shared-memory) transport skip array compression:
+        their frames never cross the pipe, and the worker decodes raw
+        arrays as views into the segment, so raw is strictly cheaper
+        than compressed there.  Fire-and-forget messages return
+        ``None``.  ``block=False`` sheds with
+        :class:`~repro.distributed.dispatch.Backpressure` instead of
+        waiting for queue space.
         """
         reply_expected = message.get("type") not in _NO_REPLY_TYPES
         compress = not (reply_expected and self._transport.zero_copy)
-        self._transport.send(
+        return self._dispatcher.submit(
             worker_id,
             codec.encode_message(message, compress=compress),
             reply_expected=reply_expected,
+            block=block,
+            timeout=timeout,
         )
+
+    def send(self, worker_id: int, message: dict) -> None:
+        """Encode and ship one message to one worker (sync wrapper).
+
+        Reply-expecting sends park their future in the coordinator's
+        reply pool, where :meth:`gather` harvests it -- the historical
+        send-then-gather call pattern, now non-blocking underneath.
+        """
+        future = self.submit(worker_id, message)
+        if future is not None:
+            with self._replies_lock:
+                self._replies.append(future)
 
     def gather(
         self,
@@ -172,7 +231,9 @@ class Coordinator:
         Non-matching replies are discarded.  ``expected`` may be a
         callable re-evaluated every poll round, so callers that can
         tolerate loss (snapshot collection) shrink the target as
-        workers die instead of blocking until the deadline.
+        workers die instead of blocking until the deadline.  Replies
+        of requests whose worker died are dropped (the shrinking
+        target is what accounts for them).
         """
         target = expected if callable(expected) else (lambda: expected)
         deadline = time.monotonic() + (timeout or self._timeout)
@@ -182,10 +243,21 @@ class Coordinator:
                 raise DistributedError(
                     f"timed out with {len(replies)}/{target()} replies"
                 )
-            for _worker_id, frame in self._transport.poll(
-                self._poll_interval
-            ):
-                message = codec.decode_message(frame)
+            with self._replies_lock:
+                pool = list(self._replies)
+            progressed = False
+            for future in pool:
+                if not future.done():
+                    continue
+                with self._replies_lock:
+                    try:
+                        self._replies.remove(future)
+                    except ValueError:  # another gather raced it away
+                        continue
+                progressed = True
+                if future.exception() is not None:
+                    continue  # worker died; the target shrinks instead
+                message = future.result()
                 if message.get("type") == "error":
                     # Protocol-level worker errors (bad frame, version
                     # mismatch) fail the operation loudly, not by
@@ -195,16 +267,24 @@ class Coordinator:
                     )
                 if match is None or match(message):
                     replies.append(message)
+            if progressed:
+                continue
             if not self.alive_workers():
                 raise DistributedError(
                     "all workers died while gathering replies"
                 )
+            self._dispatcher.wait_any(pool, timeout=self._poll_interval)
         return replies
 
     # ------------------------------------------------------------------
     # Task scheduling with retry/reassignment
     # ------------------------------------------------------------------
-    def run_tasks(self, tasks: Sequence[dict]) -> List[dict]:
+    def run_tasks(
+        self,
+        tasks: Sequence[dict],
+        *,
+        wire: Optional[Dict[str, int]] = None,
+    ) -> List[dict]:
         """Run every task to completion; returns replies in task order.
 
         Each task dict is shipped with an injected ``task_id`` and must
@@ -212,6 +292,13 @@ class Coordinator:
         (``ok=False``) or death re-queues the task -- preferring a
         *different* worker, since the idle pool is rotated -- until
         ``max_retries`` re-dispatches are spent.
+
+        ``wire``, when given, accumulates this call's exact wire share
+        (``frames_sent``/``bytes_sent``/``bytes_received``/
+        ``shm_bytes``) summed from the per-request futures.  Unlike
+        before/after snapshots of the transport's shared counters, the
+        sums stay correct when other operations are on the wire
+        concurrently.
         """
         tasks = list(tasks)
         if not tasks:
@@ -219,10 +306,26 @@ class Coordinator:
         pending = deque(range(len(tasks)))
         results: List[Optional[dict]] = [None] * len(tasks)
         attempts = [0] * len(tasks)
-        inflight: Dict[int, int] = {}  # task index -> worker id
+        #: task index -> (worker id, reply future)
+        inflight: Dict[int, tuple] = {}
         idle = deque(self.alive_workers())
         remaining = len(tasks)
         deadline = time.monotonic() + self._timeout
+
+        def account(future: ReplyFuture) -> None:
+            if wire is None:
+                return
+            if future.bytes_sent or future.shm_bytes:
+                wire["frames_sent"] = wire.get("frames_sent", 0) + 1
+            wire["bytes_sent"] = (
+                wire.get("bytes_sent", 0) + future.bytes_sent
+            )
+            wire["bytes_received"] = (
+                wire.get("bytes_received", 0) + future.bytes_received
+            )
+            wire["shm_bytes"] = (
+                wire.get("shm_bytes", 0) + future.shm_bytes
+            )
 
         def requeue(index: int, why: str) -> None:
             if attempts[index] > self._max_retries:
@@ -238,14 +341,9 @@ class Coordinator:
                 raise DistributedError(
                     f"timed out with {remaining} tasks outstanding"
                 )
-            # Reap tasks whose worker died without answering.
-            for index, worker_id in list(inflight.items()):
-                if not self._transport.alive(worker_id):
-                    del inflight[index]
-                    requeue(index, f"worker {worker_id} died")
+            alive = set(self.alive_workers())
             idle = deque(
-                worker_id for worker_id in idle
-                if self._transport.alive(worker_id)
+                worker_id for worker_id in idle if worker_id in alive
             )
             if not inflight and not idle and pending:
                 raise DistributedError(
@@ -257,44 +355,51 @@ class Coordinator:
                 worker_id = idle.popleft()
                 attempts[index] += 1
                 try:
-                    self.send(
+                    future = self.submit(
                         worker_id, {**tasks[index], "task_id": index}
                     )
                 except TransportError as exc:
                     requeue(index, str(exc))
                     continue
-                inflight[index] = worker_id
-            # Collect.
-            for worker_id, frame in self._transport.poll(
-                self._poll_interval
-            ):
-                message = codec.decode_message(frame)
-                if message.get("type") == "error":
-                    # A protocol-level error reply carries no task_id;
-                    # requeue whatever this worker was working on with
-                    # the real error text instead of hanging to the
-                    # deadline.
-                    for index, owner in list(inflight.items()):
-                        if owner == worker_id:
-                            del inflight[index]
-                            idle.append(worker_id)
-                            requeue(
-                                index,
-                                f"worker error: {message.get('error')}",
-                            )
+                inflight[index] = (worker_id, future)
+            # Collect: each task's reply resolves its own future, so
+            # worker death (the future fails with TransportError) and
+            # stale duplicates need no task-id bookkeeping here.
+            progressed = False
+            for index, (worker_id, future) in list(inflight.items()):
+                if not future.done():
                     continue
-                if message.get("type") != "result":
-                    continue
-                index = int(message.get("task_id", -1))
-                if inflight.get(index) != worker_id:
-                    continue  # stale duplicate from a retried task
+                progressed = True
                 del inflight[index]
+                account(future)
+                error = future.exception()
+                if error is not None:
+                    # Worker died mid-task; it does not rejoin the
+                    # idle pool, so the retry lands elsewhere.
+                    requeue(index, str(error))
+                    continue
+                message = future.result()
                 idle.append(worker_id)
-                if message.get("ok"):
+                if message.get("type") == "error":
+                    requeue(
+                        index,
+                        f"worker error: {message.get('error')}",
+                    )
+                elif message.get("type") != "result":
+                    requeue(
+                        index,
+                        f"unexpected reply {message.get('type')!r}",
+                    )
+                elif message.get("ok"):
                     results[index] = message
                     remaining -= 1
                 else:
                     requeue(index, message.get("error", "worker error"))
+            if not progressed and remaining:
+                self._dispatcher.wait_any(
+                    [future for _w, future in inflight.values()],
+                    timeout=self._poll_interval,
+                )
         return [reply for reply in results if reply is not None]
 
 
@@ -306,10 +411,11 @@ class Coordinator:
 class DistributedBuild:
     """Outcome of a distributed build: folded summary plus provenance.
 
-    ``bytes_on_wire``/``frames_sent`` are this build's deltas of the
-    transport's :class:`~repro.distributed.transport.WireStats` (both
-    directions); ``shm_bytes`` counts payloads that moved out-of-band
-    through shared memory instead.
+    ``bytes_on_wire``/``frames_sent`` count this build's own frames
+    (both directions), summed from the per-request futures on the
+    async dispatch path -- exact even when other operations share the
+    transport concurrently; ``shm_bytes`` counts payloads that moved
+    out-of-band through shared memory instead.
     """
 
     summary: object
@@ -380,16 +486,15 @@ def distributed_build(
     coord = coordinator or Coordinator(
         transport, num_workers, max_retries=max_retries
     )
-    before = coord.transport.stats.snapshot()
+    wire: Dict[str, int] = {}
     try:
-        replies = coord.run_tasks(tasks)
+        replies = coord.run_tasks(tasks, wire=wire)
         # Reply frames are immutable bytes that live as long as any
         # view of them: decode the shipped summaries zero-copy.
         summaries = [
             codec.from_bytes(reply["summary"], copy=False)
             for reply in replies
         ]
-        after = coord.transport.stats.snapshot()
     finally:
         if own:
             coord.close()
@@ -402,11 +507,10 @@ def distributed_build(
         shard_sizes=[int(reply["size"]) for reply in replies],
         retries=coord.retries,
         bytes_on_wire=(
-            after["bytes_sent"] - before["bytes_sent"]
-            + after["bytes_received"] - before["bytes_received"]
+            wire.get("bytes_sent", 0) + wire.get("bytes_received", 0)
         ),
-        frames_sent=after["frames_sent"] - before["frames_sent"],
-        shm_bytes=after["shm_bytes"] - before["shm_bytes"],
+        frames_sent=wire.get("frames_sent", 0),
+        shm_bytes=wire.get("shm_bytes", 0),
     )
 
 

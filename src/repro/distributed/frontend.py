@@ -44,16 +44,30 @@ first time a pending answer is read.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import threading
+import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.structures.ranges import Box, QueryPlan, compile_query_plan
 
 
+def _batch_bucket(size: int) -> int:
+    """Power-of-two ceiling bucket for the batch-size histogram."""
+    return 1 << max(0, size - 1).bit_length() if size > 1 else size
+
+
 @dataclass
 class FrontendStats:
-    """Cache effectiveness counters (monitoring surface)."""
+    """Cache/batch effectiveness counters (monitoring surface).
+
+    ``batch_hist`` histograms flush sizes into power-of-two buckets
+    (bucket 8 counts flushes of 5..8 queries), so the telemetry stays
+    bounded no matter how the batch knob is tuned.  ``shed`` counts
+    submissions refused by admission control (always 0 for the plain
+    :class:`QueryFrontend`, which has no bounded queue).
+    """
 
     hits: int = 0
     misses: int = 0
@@ -62,8 +76,14 @@ class FrontendStats:
     queries: int = 0
     submitted: int = 0
     flushes: int = 0
+    shed: int = 0
+    batch_hist: Dict[int, int] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, int]:
+    def record_batch(self, size: int) -> None:
+        bucket = _batch_bucket(size)
+        self.batch_hist[bucket] = self.batch_hist.get(bucket, 0) + 1
+
+    def as_dict(self) -> Dict[str, object]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -72,6 +92,8 @@ class FrontendStats:
             "queries": self.queries,
             "submitted": self.submitted,
             "flushes": self.flushes,
+            "shed": self.shed,
+            "batch_hist": dict(sorted(self.batch_hist.items())),
         }
 
 
@@ -293,6 +315,356 @@ class QueryFrontend:
             for (_query, handle), answer in zip(entries, answers):
                 handle._value = float(answer)
         self.stats.flushes += 1
+        self.stats.record_batch(len(pending))
         if first_error is not None:
             raise first_error
         return len(pending)
+
+
+# ----------------------------------------------------------------------
+# Long-lived serving: concurrent submit, deadline flush, admission control
+# ----------------------------------------------------------------------
+
+class OverloadError(RuntimeError):
+    """Admission control refused a submission (queue full / tenant cap)."""
+
+
+class ServedAnswer:
+    """Thread-safe handle for one query submitted to a :class:`ServingFrontend`.
+
+    Resolved by the frontend's flusher thread; ``done_at`` is stamped
+    (``time.monotonic()``) the moment the answer lands, so open-loop
+    harnesses can measure service completion without depending on when
+    the waiting thread gets scheduled again.
+    """
+
+    __slots__ = ("_cond", "_value", "_error", "tenant", "done_at")
+
+    def __init__(self, cond: threading.Condition, tenant: str):
+        self._cond = cond
+        self._value: Optional[float] = None
+        self._error: Optional[BaseException] = None
+        self.tenant = tenant
+        self.done_at: Optional[float] = None
+
+    def done(self) -> bool:
+        return self._value is not None or self._error is not None
+
+    def result(self, timeout: Optional[float] = None) -> float:
+        """Wait for the flushed answer (re-raises its kernel error)."""
+        with self._cond:
+            if not self._cond.wait_for(self.done, timeout):
+                raise TimeoutError(
+                    f"no answer within {timeout}s (tenant {self.tenant!r})"
+                )
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value
+
+    # Flusher-thread side ----------------------------------------------
+    def _resolve(self, value: float) -> None:
+        with self._cond:
+            self._value = float(value)
+            self.done_at = time.monotonic()
+            self._cond.notify_all()
+
+    def _fail(self, error: BaseException) -> None:
+        with self._cond:
+            self._error = error
+            self.done_at = time.monotonic()
+            self._cond.notify_all()
+
+
+class _QueueEntry:
+    __slots__ = ("method", "query", "answer", "enqueued_at")
+
+    def __init__(self, method, query, answer, enqueued_at):
+        self.method = method
+        self.query = query
+        self.answer = answer
+        self.enqueued_at = enqueued_at
+
+
+class ServingFrontend:
+    """Long-lived multi-tenant serving over one or more snapshot suppliers.
+
+    Where :class:`QueryFrontend` micro-batches within a single caller,
+    this is the *service* shape: many tenants call :meth:`submit`
+    concurrently from their own threads, and one background flusher
+    thread answers the accumulated cross-tenant batch with the batched
+    kernels -- so the amortization that PR 5 demonstrated closed-loop
+    becomes reachable under live concurrent traffic.
+
+    * **Cross-supplier fan-out**: with several suppliers the battery
+      is compiled once, answered by every supplier's cached snapshot,
+      and the per-query estimates are summed -- valid because the
+      range-sum estimators are additive over disjoint data slices
+      (each supplier covering its own shard of the stream).
+    * **Deadline + size flush**: a batch is flushed when it reaches
+      ``batch_size`` queries or when its oldest entry has waited
+      ``max_delay_ms`` -- bounding tail latency under light load while
+      still amortizing under heavy load.
+    * **Admission control**: at most ``max_pending`` queries may be
+      queued; beyond that :meth:`submit` sheds with
+      :class:`OverloadError` (open-loop overload must shed, not build
+      an unbounded queue).  Per-tenant fairness caps any one tenant at
+      ``max(1, int(max_pending * tenant_share))`` pending queries, so
+      a flooding tenant sheds while the others keep being admitted.
+
+    Each supplier gets its own inner :class:`QueryFrontend` (snapshot
+    LRU + sort-order reuse); only the flusher thread touches them, so
+    they need no locking of their own.
+    """
+
+    def __init__(
+        self,
+        suppliers,
+        *,
+        slots: int = 8,
+        batch_size: int = 64,
+        max_delay_ms: float = 2.0,
+        max_pending: int = 1024,
+        tenant_share: float = 0.25,
+        start: bool = True,
+    ):
+        if not isinstance(suppliers, (list, tuple)):
+            suppliers = [suppliers]
+        if not suppliers:
+            raise ValueError("need at least one supplier")
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if not (0.0 < tenant_share <= 1.0):
+            raise ValueError("tenant_share must be in (0, 1]")
+        self._backends = [
+            QueryFrontend(supplier, slots=slots) for supplier in suppliers
+        ]
+        self._batch_size = int(batch_size)
+        self._max_delay = float(max_delay_ms) / 1000.0
+        self._max_pending = int(max_pending)
+        self._tenant_cap = max(1, int(max_pending * tenant_share))
+        self._cond = threading.Condition()
+        #: Shared completion condition every ServedAnswer waits on.
+        self._completion = threading.Condition()
+        self._queue: "deque[_QueueEntry]" = deque()
+        self._tenant_pending: Dict[str, int] = {}
+        self._flush_lock = threading.Lock()
+        self._stats = FrontendStats()
+        self._flushes_size = 0
+        self._flushes_deadline = 0
+        self._flushes_forced = 0
+        self._shed_tenant = 0
+        self._max_queue_depth = 0
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the flusher thread (idempotent)."""
+        with self._cond:
+            if self._running:
+                return
+            self._running = True
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serving-flusher", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop the flusher, draining queued queries first (idempotent)."""
+        with self._cond:
+            stopping = self._running
+            self._running = False
+            self._cond.notify_all()
+        if stopping and self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.flush()  # resolve anything still queued (start=False path)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Submission (any thread)
+    # ------------------------------------------------------------------
+    def submit(self, method: str, query, tenant: str = "default") -> ServedAnswer:
+        """Enqueue one query; returns a :class:`ServedAnswer` immediately.
+
+        Raises :class:`OverloadError` when the pending queue is full or
+        the tenant is over its fair share -- callers are expected to
+        back off (shed-on-overload keeps the served tail bounded).
+        """
+        with self._cond:
+            if len(self._queue) >= self._max_pending:
+                self._stats.shed += 1
+                raise OverloadError(
+                    f"pending queue full ({self._max_pending} queries)"
+                )
+            if self._tenant_pending.get(tenant, 0) >= self._tenant_cap:
+                self._stats.shed += 1
+                self._shed_tenant += 1
+                raise OverloadError(
+                    f"tenant {tenant!r} over its fair share "
+                    f"({self._tenant_cap} pending queries)"
+                )
+            answer = ServedAnswer(self._completion, tenant)
+            self._queue.append(
+                _QueueEntry(method, query, answer, time.monotonic())
+            )
+            self._tenant_pending[tenant] = (
+                self._tenant_pending.get(tenant, 0) + 1
+            )
+            self._stats.submitted += 1
+            depth = len(self._queue)
+            if depth > self._max_queue_depth:
+                self._max_queue_depth = depth
+            # Wake the flusher when the batch is full -- and on the
+            # first entry, so an idle flusher starts this batch's
+            # max_delay deadline clock instead of sleeping through it.
+            if depth == 1 or depth >= self._batch_size:
+                self._cond.notify_all()
+        return answer
+
+    def pending(self) -> int:
+        """Queries queued but not yet flushed."""
+        with self._cond:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Flushing (flusher thread, or the caller when not started)
+    # ------------------------------------------------------------------
+    def _take_locked(self, limit: Optional[int]) -> List[_QueueEntry]:
+        count = (
+            len(self._queue) if limit is None
+            else min(limit, len(self._queue))
+        )
+        batch = [self._queue.popleft() for _ in range(count)]
+        for entry in batch:
+            tenant = entry.answer.tenant
+            left = self._tenant_pending.get(tenant, 1) - 1
+            if left <= 0:
+                self._tenant_pending.pop(tenant, None)
+            else:
+                self._tenant_pending[tenant] = left
+        if batch:
+            self._cond.notify_all()  # free admission slots
+        return batch
+
+    def flush(self) -> int:
+        """Drain and answer everything queued right now (synchronous).
+
+        The manual path for ``start=False`` frontends (tests, offline
+        replay); counted separately from size/deadline flushes.
+        """
+        with self._cond:
+            batch = self._take_locked(None)
+        if not batch:
+            return 0
+        self._flushes_forced += 1
+        self._answer(batch)
+        return len(batch)
+
+    def _run(self) -> None:
+        while True:
+            batch: List[_QueueEntry] = []
+            size_flush = False
+            with self._cond:
+                if not self._running and not self._queue:
+                    break
+                if len(self._queue) >= self._batch_size:
+                    size_flush = True
+                    batch = self._take_locked(self._batch_size)
+                elif self._queue:
+                    wait = (
+                        self._queue[0].enqueued_at + self._max_delay
+                        - time.monotonic()
+                    )
+                    if wait > 0 and self._running:
+                        self._cond.wait(wait)
+                        continue
+                    batch = self._take_locked(None)
+                else:
+                    self._cond.wait(0.05)
+                    continue
+            if size_flush:
+                self._flushes_size += 1
+            else:
+                self._flushes_deadline += 1
+            self._answer(batch)
+
+    def _answer(self, batch: List[_QueueEntry]) -> None:
+        """Answer one drained batch: one kernel call per method per backend."""
+        with self._flush_lock:
+            by_method: "OrderedDict[str, List[_QueueEntry]]" = OrderedDict()
+            for entry in batch:
+                by_method.setdefault(entry.method, []).append(entry)
+            self._stats.flushes += 1
+            self._stats.record_batch(len(batch))
+            for method, entries in by_method.items():
+                queries = [entry.query for entry in entries]
+                try:
+                    # Compile the battery once; every backend's kernel
+                    # consumes the same plan (the serve() trick, across
+                    # suppliers instead of methods).
+                    plan = (
+                        compile_query_plan(queries)
+                        if len(self._backends) > 1 else queries
+                    )
+                    per_backend = [
+                        backend.query_many(method, plan)
+                        for backend in self._backends
+                    ]
+                except Exception:
+                    self._answer_singly(method, entries)
+                    continue
+                for entry, values in zip(entries, zip(*per_backend)):
+                    entry.answer._resolve(sum(values))
+
+    def _answer_singly(self, method: str, entries: List[_QueueEntry]) -> None:
+        """Fault isolation: pin errors on the queries that actually fail."""
+        for entry in entries:
+            try:
+                total = 0.0
+                for backend in self._backends:
+                    total += float(backend.query_many(method, [entry.query])[0])
+            except Exception as error:
+                entry.answer._fail(error)
+            else:
+                entry.answer._resolve(total)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Merged serving + per-backend cache telemetry, one flat dict.
+
+        Cache counters (hits/misses/evictions) are summed across the
+        per-supplier frontends; serving counters (submitted, sheds,
+        flush reasons, batch histogram, queue depths) come from this
+        service's own lifetime.
+        """
+        merged = self._stats.as_dict()
+        for key in ("hits", "misses", "evictions", "batteries", "queries"):
+            merged[key] = sum(
+                getattr(backend.stats, key) for backend in self._backends
+            )
+        with self._cond:
+            merged.update({
+                "suppliers": len(self._backends),
+                "flushes_size": self._flushes_size,
+                "flushes_deadline": self._flushes_deadline,
+                "flushes_forced": self._flushes_forced,
+                "shed_tenant": self._shed_tenant,
+                "max_queue_depth": self._max_queue_depth,
+                "pending": len(self._queue),
+            })
+        return merged

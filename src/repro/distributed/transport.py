@@ -29,6 +29,17 @@ Failure model: a worker that dies (process exit, closed pipe, reset
 socket) is reported dead by :meth:`BaseTransport.alive`; frames it
 never answered are the coordinator's to re-dispatch.  Transports never
 retry on their own.
+
+Thread ownership: transports are *not* thread-safe.  Under the async
+coordinator every :meth:`BaseTransport.send` / ``poll`` / ``alive``
+call is made by the single :class:`~repro.distributed.dispatch.\
+AsyncDispatcher` selector thread; callers never touch the transport
+directly, they enqueue through ``submit()``.  Teardown order follows
+ownership: stop the dispatcher first (it drains and parks its thread),
+then ``transport.stop()``.  The dispatcher's bounded per-worker queues
+also cap how many unanswered frames sit in a pipe at once, which keeps
+the multiprocessing transport clear of the classic
+both-directions-full pipe deadlock.
 """
 
 from __future__ import annotations
