@@ -36,6 +36,7 @@ import time
 import numpy as np
 
 from conftest import SMOKE, emit, emit_json, perf_assert
+from repro import obs
 from repro.core.types import Dataset
 from repro.datagen.serving import (
     latency_percentiles,
@@ -62,6 +63,8 @@ N_TENANT_THREADS = 8
 SWEEP_SECONDS = 1.2  # offered-load duration per rate
 RATE_FACTORS = (0.25, 0.5, 1.0, 2.0)  # x the measured async throughput
 MAX_SWEEP_QUERIES = 60_000
+N_OBS = 8000  # instrumentation-overhead comparison queries
+OBS_REPEATS = 5  # best-of-N per mode (interleaved, noise-robust)
 if SMOKE:
     DOMAIN_BITS = 12
     N_ITEMS = 3000
@@ -71,6 +74,8 @@ if SMOKE:
     N_TENANT_THREADS = 4
     SWEEP_SECONDS = 0.3
     MAX_SWEEP_QUERIES = 400
+    N_OBS = 4000
+    OBS_REPEATS = 7
 
 #: The ISSUE's sweep families; exact rides along as the fan-out anchor.
 METHODS = ("sketch", "qdigest")
@@ -326,6 +331,89 @@ def test_serving(results_dir):
         lines.append(
             f"{method:<10} saturation throughput {saturation:,.0f} q/s"
         )
+
+    # ------------------------------------------------------------------
+    # Instrumentation overhead: disabled vs enabled telemetry registry
+    # on the serving hot path.  The gate (here and in check_regression)
+    # is <= 5% -- telemetry must stay pay-for-what-you-use.
+    # ------------------------------------------------------------------
+    lines.append("== Telemetry overhead: disabled vs enabled registry ==")
+    obs_queries = _battery(rng, size, N_OBS)
+
+    def _serving_pass(registry):
+        """One single-threaded submit+flush sweep under ``registry``.
+
+        The frontend is constructed *after* the registry swap because
+        components capture ``registry.enabled`` at construction; the
+        driver thread does its own flushes so the measurement has no
+        flusher-thread scheduling noise in it.
+        """
+        previous = obs.set_registry(registry)
+        try:
+            service = ServingFrontend(
+                _StaticSupplier(summaries),
+                batch_size=BATCH,
+                max_pending=4 * BATCH,
+                tenant_share=1.0,
+                start=False,
+            )
+            try:
+                start = time.perf_counter()
+                handles = []
+                for index, query in enumerate(obs_queries):
+                    handles.append(service.submit(
+                        "sketch", query, tenant=f"t{index & 3}"
+                    ))
+                    if service.pending() >= BATCH:
+                        service.flush()
+                service.flush()
+                for handle in handles:
+                    handle.result(30.0)
+                return time.perf_counter() - start
+            finally:
+                service.close()
+        finally:
+            obs.set_registry(previous)
+
+    disabled_reg = obs.MetricsRegistry(enabled=False)
+    enabled_reg = obs.MetricsRegistry(enabled=True)
+    _serving_pass(disabled_reg)  # warm caches before timing either mode
+    _serving_pass(enabled_reg)
+    # Interleave the trials so clock drift / background load hits both
+    # modes equally, then take the *median of paired ratios*: a noise
+    # burst landing on one trial of one mode cannot move the estimate
+    # the way it moves a min- or mean-based one.
+    ratios = []
+    time_disabled = time_enabled = float("inf")
+    for _ in range(OBS_REPEATS):
+        trial_disabled = _serving_pass(disabled_reg)
+        trial_enabled = _serving_pass(enabled_reg)
+        ratios.append(trial_enabled / max(trial_disabled, 1e-12))
+        time_disabled = min(time_disabled, trial_disabled)
+        time_enabled = min(time_enabled, trial_enabled)
+    overhead = float(np.median(ratios))
+    snap = enabled_reg.snapshot()
+    assert snap["serving.batch_size"]["count"] > 0  # it really measured
+    records.append({
+        "kernel": "obs-overhead:serving",
+        "mode": "obs-overhead",
+        "n": N_OBS,
+        "batch_size": BATCH,
+        "domain_bits": DOMAIN_BITS,
+        "wall_time_disabled_s": time_disabled,
+        "wall_time_enabled_s": time_enabled,
+        "overhead_ratio": overhead,
+    })
+    lines.append(
+        f"serving hot path: disabled {time_disabled * 1e3:.1f} ms, "
+        f"enabled {time_enabled * 1e3:.1f} ms "
+        f"-> overhead x{overhead:.3f} ({N_OBS} queries)"
+    )
+    perf_assert(
+        overhead <= 1.05,
+        f"enabled-telemetry overhead x{overhead:.3f} exceeds the 5% "
+        "budget on the serving hot path",
+    )
 
     emit(results_dir, "serving", "\n".join(lines))
     emit_json(results_dir, "serving", records)

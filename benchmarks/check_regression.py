@@ -72,6 +72,12 @@ MEASUREMENT_KEYS = frozenset({
     "flushes_size",
     "flushes_deadline",
     "max_queue_depth",
+    # Telemetry-overhead measurements (bench_serving obs-overhead
+    # records): the ratio is gated by check_obs, the raw times vary
+    # with the machine.
+    "overhead_ratio",
+    "wall_time_disabled_s",
+    "wall_time_enabled_s",
 })
 
 #: Throughput fields accepted when a record carries no wall time
@@ -144,6 +150,40 @@ def check_wire_bytes(directory: pathlib.Path) -> list:
                 failures.append((payload.get("benchmark", path.stem),
                                  record, wire, raw))
     return failures
+
+
+def check_obs(
+    fresh_dir: pathlib.Path,
+    max_overhead: float,
+    min_seconds: float,
+) -> Tuple[list, int]:
+    """Telemetry-overhead gate: enabled vs disabled registry ratio.
+
+    Any fresh record carrying ``overhead_ratio`` (the ``obs-overhead``
+    records of the serving benchmark) times the *same* workload twice
+    in one process -- telemetry registry disabled, then enabled -- so
+    the ratio is self-calibrated and gated without a baseline: it fails
+    when enabled instrumentation costs more than ``max_overhead`` on
+    the hot path.  A record whose disabled-side wall time is below
+    ``min_seconds`` is skipped, same as the main gate: a sub-floor
+    timing is scheduler noise, not an overhead measurement.
+    """
+    failures = []
+    compared = 0
+    for path in sorted(fresh_dir.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text())
+        for record in payload.get("records", []):
+            if "overhead_ratio" not in record:
+                continue
+            if float(record.get("wall_time_disabled_s", 0.0)) < min_seconds:
+                continue
+            compared += 1
+            ratio = float(record["overhead_ratio"])
+            if ratio > max_overhead:
+                failures.append(
+                    (payload.get("benchmark", path.stem), record, ratio)
+                )
+    return failures, compared
 
 
 #: Fields identifying one open-loop sweep point across machines (the
@@ -245,6 +285,9 @@ def main(argv=None) -> int:
                         help="skip records whose baseline is below this")
     parser.add_argument("--no-calibrate", action="store_true",
                         help="compare raw ratios (same-machine baselines)")
+    parser.add_argument("--max-obs-overhead", type=float, default=1.05,
+                        help="fail when enabled-telemetry overhead on the "
+                             "hot path exceeds this ratio")
     args = parser.parse_args(argv)
 
     baseline = load_records(args.baseline)
@@ -296,14 +339,29 @@ def main(argv=None) -> int:
     serving_failures, serving_compared = check_serving(
         args.baseline, args.fresh, args.max_ratio
     )
+    obs_failures, obs_compared = check_obs(
+        args.fresh, args.max_obs_overhead, args.min_seconds
+    )
     print(
         f"compared {len(compared)} records (calibration {calibration:.2f}x),"
         f" skipped {skipped} below {args.min_seconds}s,"
         f" {serving_compared} serving sweep points,"
+        f" {obs_compared} telemetry-overhead records,"
         f" {len(failures)} regressions,"
         f" {len(serving_failures)} serving violations,"
-        f" {len(wire_failures)} wire-size violations"
+        f" {len(wire_failures)} wire-size violations,"
+        f" {len(obs_failures)} telemetry-overhead violations"
     )
+    if obs_failures:
+        print(
+            "TELEMETRY-OVERHEAD VIOLATIONS "
+            f"(enabled/disabled > {args.max_obs_overhead:.2f}x):"
+        )
+        for benchmark, record, ratio in obs_failures:
+            print(f"  {benchmark} {record.get('kernel')}: x{ratio:.3f} "
+                  f"(disabled {record.get('wall_time_disabled_s', 0.0):.4f}s"
+                  f" -> enabled "
+                  f"{record.get('wall_time_enabled_s', 0.0):.4f}s)")
     if serving_failures:
         print("SERVING VIOLATIONS (p95 regression / saturation collapse):")
         for line in serving_failures:
@@ -318,7 +376,9 @@ def main(argv=None) -> int:
             args.max_ratio))
         for key, adjusted in failures:
             print(f"  {key[0]} {dict(key[1:])}: {adjusted:.2f}x")
-    return 1 if failures or wire_failures or serving_failures else 0
+    return 1 if (
+        failures or wire_failures or serving_failures or obs_failures
+    ) else 0
 
 
 if __name__ == "__main__":

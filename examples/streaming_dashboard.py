@@ -1,104 +1,150 @@
-"""Live streaming dashboard: micro-batch ingestion + windowed queries.
+"""Live streaming dashboard rendered from the telemetry timeline.
 
-Two live views driven by the streaming engine:
+The observability layer (``repro.obs``) is the data source here, not
+ad-hoc prints: an enabled :class:`MetricsRegistry` watches a sliding-
+window :class:`StreamEngine` ingesting a bursty time series, an
+:class:`AccuracyProbe` measures per-window estimate error against the
+exact reference on every refresh, and each dashboard frame is one
+``registry.report_timeline()`` record -- the same JSONL a real
+collector would scrape.  Four live panels come straight out of the
+per-frame metric deltas:
 
-1. **Traffic totals (landmark)** -- a network-flow feed is ingested in
-   micro-batches by a VarOpt reservoir (``obliv``), a mergeable
-   Count-Sketch (``sketch``) and the exact store; every few batches the
-   dashboard refreshes a battery of subnet queries *live*, without
-   rebuilding anything.
-2. **Burst monitor (sliding window)** -- a bursty time series flows
-   through a sliding event-time window (panes folded with the
-   mergeable-summary protocol at query time), so the recent-activity
-   estimate tracks bursts and forgets them as they age out.
+* **ingest rate** -- ``stream.items_ingested`` delta over the frame;
+* **pane seal latency** -- window-local p95 of
+  ``stream.pane_seal_seconds``;
+* **per-window discrepancy** -- ``accuracy.discrepancy{method=obliv}``
+  as a share of the window's exact total, with a bar;
+* **tau drift** -- the VarOpt inclusion threshold and its step-to-step
+  drift (a sprinting tau means the live keys are out-skewing the
+  sample size).
+
+The run ends with the trace-ring summary and a Prometheus-style
+exposition dump of the final snapshot -- everything a scraper would
+see, from the same registry that drew the panels.
 
 Run:  python examples/streaming_dashboard.py
 """
 
+import io
+import json
+
 import numpy as np
 
-from repro import Box, StreamEngine, sliding
-from repro.datagen import (
-    NetworkConfig,
-    TimeSeriesConfig,
-    network_domain,
-    stream_bursty_series,
-    stream_network_flows,
-)
+from repro import Box, StreamEngine, obs, sliding
+from repro.datagen import TimeSeriesConfig, stream_bursty_series
 from repro.structures.order import OrderedDomain
 from repro.structures.product import ProductDomain
 
+HORIZON = 1 << 20
+WINDOW = sliding(width=1 << 17, slide=1 << 15)  # 4-pane sliding window
+SIZE = 600
+BAR_WIDTH = 24
 
-def traffic_dashboard():
-    config = NetworkConfig(n_pairs=40_000, n_sources=6_000, n_dests=5_000)
-    engine = StreamEngine(
-        network_domain(config), ["obliv", "sketch", "exact"], 1_500, seed=7
+
+def _bar(fraction, width=BAR_WIDTH):
+    filled = int(round(min(max(fraction, 0.0), 1.0) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _frame_panels(record, previous_t, engine, probe_reading, window_total):
+    """One dashboard line from a ``report_timeline`` delta record."""
+    metrics = record["metrics"]
+    dt = max(record["t"] - previous_t, 1e-9)
+    rate = metrics.get("stream.items_ingested", 0) / dt
+    seal = metrics.get("stream.pane_seal_seconds") or {}
+    seal_p95_ms = seal.get("p95", 0.0) * 1e3  # absent until a pane seals
+    sealed = metrics.get("stream.panes_sealed", 0)
+    disc = probe_reading["discrepancy"]
+    share = disc / window_total if window_total else 0.0
+    tau = probe_reading.get("tau", 0.0)
+    drift = probe_reading.get("tau_drift", 0.0)
+    return (
+        f"  {engine.now / 1024:7.0f}k | {rate / 1e3:7.1f}k/s "
+        f"| seal p95 {seal_p95_ms:6.2f} ms ({sealed} new, "
+        f"{engine.num_panes} live) | disc {share:6.2%} {_bar(share * 10)} "
+        f"| tau {tau:8.1f} (drift {drift:+8.1f})"
     )
-    top = 1 << config.bits
-    # "Subnet" panels: the four top-level source-prefix quadrants.
-    panels = [
-        Box((q * (top // 4), 0), ((q + 1) * (top // 4) - 1, top - 1))
-        for q in range(4)
-    ]
-
-    print("=== live traffic totals (landmark) ===")
-    print("    batches      items   method      q0%    q1%    q2%    q3%")
-    source = stream_network_flows(config, seed=7, batch_size=2_000)
-    for refresh in range(4):
-        engine.ingest(source, limit=5)
-        answers = engine.query_many_now(panels)
-        exact_total = sum(answers["exact"]) or 1.0
-        for method in ("exact", "obliv", "sketch"):
-            shares = [a / exact_total for a in answers[method]]
-            cells = "  ".join(f"{share:5.1%}" for share in shares)
-            name = f"{method:<10s}" if method != "exact" else "exact     "
-            lead = (
-                f"    {engine.batches_seen:7d}  {engine.items_seen:9d}"
-                if method == "exact"
-                else " " * 23
-            )
-            print(f"{lead}   {name} {cells}")
-    reservoir = engine.snapshot("obliv")
-    print(
-        f"    reservoir: {reservoir.size} keys, tau={reservoir.tau:.3f}, "
-        f"total estimate {reservoir.estimate_total():,.0f}"
-    )
-
-
-def burst_monitor():
-    config = TimeSeriesConfig(horizon=1 << 20, n_bursts=8)
-    window = sliding(width=1 << 17, slide=1 << 15)  # 4-pane sliding window
-    engine = StreamEngine(
-        # 1-D ordered time domain: the streaming q-digest is native
-        # here; exact is the reference.
-        ProductDomain([OrderedDomain(config.horizon)]),
-        ["exact", "qdigest-stream"],
-        600,
-        window=window,
-        seed=1,
-    )
-    whole = Box((0,), ((1 << 20) - 1,))
-    print("\n=== burst monitor (sliding window, 4 panes) ===")
-    print("      now(k-slots)   panes   recent weight (exact / qdigest)")
-    last_bucket = -1
-    for batch in stream_bursty_series(config, seed=4, batch_duration=1 << 15):
-        engine.process(batch)
-        bucket = int(engine.now) >> 17
-        if bucket != last_bucket:
-            last_bucket = bucket
-            live = engine.query_now(whole)
-            print(
-                f"      {engine.now / 1024:12.0f}   {engine.num_panes:5d}"
-                f"   {live['exact']:12,.0f} / {live['qdigest-stream']:12,.0f}"
-            )
-    print(f"      ingested {engine.items_seen} events "
-          f"in {engine.batches_seen} batches")
 
 
 def main():
     np.set_printoptions(suppress=True)
-    traffic_dashboard()
-    burst_monitor()
+    # Fresh enabled registry: panels read deltas, nothing else writes.
+    obs.set_registry(obs.MetricsRegistry(enabled=True))
+    registry = obs.get_registry()
+
+    engine = StreamEngine(
+        ProductDomain([OrderedDomain(HORIZON)]),
+        ["exact", "obliv", "qdigest-stream"],
+        SIZE,
+        window=WINDOW,
+        seed=1,
+    )
+    # Fixed battery: eight half-overlapping slices of the time axis.
+    battery = [
+        Box((lo,), (lo + HORIZON // 4,))
+        for lo in range(0, HORIZON - HORIZON // 4, HORIZON // 8)
+    ]
+    whole = Box((0,), (HORIZON - 1,))
+    probe = obs.AccuracyProbe(engine, battery, registry=registry)
+
+    timeline = io.StringIO()
+    config = TimeSeriesConfig(horizon=HORIZON, n_bursts=8)
+
+    print("=== live dashboard (one line per timeline frame) ===")
+    print(
+        f"  {'now':>8} | {'ingest':>9} | {'pane seal latency':>28} "
+        f"| {'window discrepancy (obliv)':>{15 + BAR_WIDTH}} "
+        f"| tau / drift"
+    )
+    last_bucket = -1
+    previous_t = registry.report_timeline()["t"]  # frame-zero anchor
+    for batch in stream_bursty_series(config, seed=4,
+                                      batch_duration=1 << 15):
+        engine.process(batch)
+        bucket = int(engine.now) >> 17
+        if bucket == last_bucket:
+            continue
+        last_bucket = bucket
+        reading = probe.observe()["obliv"]
+        window_total = engine.query_now(whole)["exact"]
+        record = registry.report_timeline(timeline, now=float(engine.now))
+        print(_frame_panels(record, previous_t, engine, reading,
+                            window_total))
+        previous_t = record["t"]
+    print(
+        f"  ingested {engine.items_seen} events in "
+        f"{engine.batches_seen} batches; "
+        f"{len(timeline.getvalue().splitlines())} timeline frames emitted"
+    )
+
+    # ------------------------------------------------------------------
+    # What a collector would see.
+    # ------------------------------------------------------------------
+    frames = [json.loads(line) for line in
+              timeline.getvalue().splitlines()]
+    sealed = sum(f["metrics"].get("stream.panes_sealed", 0)
+                 for f in frames)
+    print("\n=== timeline recap (from the JSONL frames) ===")
+    print(f"  frames: {len(frames)}, panes sealed across frames: {sealed}")
+
+    spans = registry.trace.spans("stream.pane_seal")
+    if spans:
+        worst = max(spans, key=lambda s: s["duration"])
+        print(
+            f"  trace ring: {len(registry.trace)} spans, slowest "
+            f"pane seal {worst['duration'] * 1e3:.2f} ms "
+            f"(pane {worst['tags']['pane']})"
+        )
+
+    snapshot = registry.snapshot()
+    exposition = obs.expose(snapshot)
+    print("\n=== exposition dump (scrape of the final snapshot) ===")
+    wanted = ("repro_stream_items_ingested", "repro_stream_panes_sealed",
+              "repro_accuracy_discrepancy", "repro_accuracy_tau")
+    for line in exposition.splitlines():
+        if line.startswith(wanted):
+            print(f"  {line}")
+    print(f"  ... ({len(exposition.splitlines())} exposition lines total)")
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.types import Dataset
 from repro.distributed import codec
 from repro.distributed.dispatch import (
@@ -115,18 +116,21 @@ class Coordinator:
         timeout: float = 600.0,
         max_inflight: int = 2,
         max_pending: int = 128,
+        registry=None,
     ):
         self._transport = make_transport(transport)
         self._num_workers = num_workers or _default_workers()
         self._max_retries = int(max_retries)
         self._poll_interval = float(poll_interval)
         self._timeout = float(timeout)
+        self._obs = registry if registry is not None else _obs.get_registry()
         self._transport.start(self._num_workers)
         self._dispatcher = AsyncDispatcher(
             self._transport,
             max_inflight=max_inflight,
             max_pending=max_pending,
             poll_interval=min(self._poll_interval, 0.005),
+            registry=self._obs,
         )
         #: Futures of :meth:`send` calls awaiting :meth:`gather`.
         self._replies: List[ReplyFuture] = []
@@ -303,6 +307,14 @@ class Coordinator:
         tasks = list(tasks)
         if not tasks:
             return []
+        with self._obs.span("coordinator.run_tasks", tasks=len(tasks)):
+            return self._run_tasks_inner(tasks, wire)
+
+    def _run_tasks_inner(
+        self,
+        tasks: List[dict],
+        wire: Optional[Dict[str, int]],
+    ) -> List[dict]:
         pending = deque(range(len(tasks)))
         results: List[Optional[dict]] = [None] * len(tasks)
         attempts = [0] * len(tasks)

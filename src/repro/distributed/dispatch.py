@@ -45,6 +45,7 @@ import time
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro import obs as _obs
 from repro.distributed import codec
 from repro.distributed.transport import BaseTransport, TransportError
 
@@ -72,6 +73,7 @@ class ReplyFuture:
     __slots__ = (
         "_cond", "_frame", "_message", "_error",
         "worker_id", "bytes_sent", "bytes_received", "shm_bytes",
+        "submitted_at",
     )
 
     def __init__(self, cond: threading.Condition, worker_id: int):
@@ -83,6 +85,8 @@ class ReplyFuture:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.shm_bytes = 0
+        #: Monotonic submit stamp; set only when telemetry is enabled.
+        self.submitted_at = 0.0
 
     def done(self) -> bool:
         """Whether a reply (or a failure) has landed."""
@@ -123,25 +127,68 @@ class ReplyFuture:
 
 
 class DispatchStats:
-    """Counters the dispatcher accumulates over its life."""
+    """Counters the dispatcher accumulates over its life.
 
-    __slots__ = (
+    Thread-safety contract: counters are written from *two* threads --
+    ``submitted``/``rejected``/``backpressure_waits``/
+    ``max_queue_depth`` by whichever caller thread runs ``submit()``,
+    ``dispatched``/``completed``/``orphans`` by the dispatcher thread,
+    and ``failed`` by either (``stop()`` on the caller, send failures
+    and death sweeps on the dispatcher).  A bare ``+= 1`` is a racy
+    read-modify-write across those threads, so every internal call
+    site goes through :meth:`inc`, which increments the field's
+    backing :class:`repro.obs.Counter` under its lock.  The historical
+    attribute reads (``stats.completed`` ...) and ``snapshot()`` are
+    unchanged; the same counters surface in a metrics registry under
+    ``dispatch.*`` via :meth:`obs_metrics`.
+    """
+
+    _FIELDS = (
         "submitted", "dispatched", "completed", "failed",
         "backpressure_waits", "rejected", "orphans", "max_queue_depth",
     )
 
+    __slots__ = tuple("_" + field for field in _FIELDS) + ("__weakref__",)
+
     def __init__(self):
-        self.submitted = 0
-        self.dispatched = 0
-        self.completed = 0
-        self.failed = 0
-        self.backpressure_waits = 0
-        self.rejected = 0
-        self.orphans = 0
-        self.max_queue_depth = 0
+        for field in self._FIELDS:
+            setattr(self, "_" + field, _obs.Counter())
+
+    def inc(self, field: str, n: int = 1) -> None:
+        """Atomically bump one counter (safe from any thread)."""
+        getattr(self, "_" + field).inc(n)
+
+    def record_depth(self, depth: int) -> None:
+        """Raise the ``max_queue_depth`` high-water mark."""
+        counter = self._max_queue_depth
+        with counter._lock:
+            if depth > counter._value:
+                counter._value = depth
 
     def snapshot(self) -> Dict[str, int]:
-        return {key: getattr(self, key) for key in self.__slots__}
+        return {key: getattr(self, key) for key in self._FIELDS}
+
+    def obs_metrics(self):
+        """Registry collector hook: ``dispatch.<field>``."""
+        for field in self._FIELDS:
+            yield "dispatch." + field, {}, getattr(self, "_" + field)
+
+
+def _dispatch_stat(field: str):
+    slot = "_" + field
+
+    def _get(self):
+        return getattr(self, slot).value
+
+    def _set(self, value):
+        getattr(self, slot).set(value)
+
+    return property(_get, _set, doc=f"Total {field.replace('_', ' ')}.")
+
+
+for _field in DispatchStats._FIELDS:
+    setattr(DispatchStats, _field, _dispatch_stat(_field))
+del _field
 
 
 class _Request:
@@ -177,6 +224,12 @@ class AsyncDispatcher:
         :meth:`submit` exerts backpressure.
     poll_interval:
         Transport poll granularity while replies are outstanding.
+    registry:
+        Metrics registry (defaults to the process-global one).  When
+        enabled, the dispatcher records submit->reply latency into
+        ``dispatch.reply_latency_seconds`` and tracks a live
+        ``dispatch.queue_depth`` gauge; disabled, the hot path pays
+        one ``enabled`` branch per submit/reply.
     """
 
     def __init__(
@@ -186,6 +239,7 @@ class AsyncDispatcher:
         max_inflight: int = 2,
         max_pending: int = 128,
         poll_interval: float = 0.002,
+        registry=None,
     ):
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -203,6 +257,13 @@ class AsyncDispatcher:
         self._alive = set(range(transport.num_workers))
         self._running = True
         self.stats = DispatchStats()
+        self._obs = registry if registry is not None else _obs.get_registry()
+        self._obs.attach(self.stats)
+        self._obs_enabled = self._obs.enabled
+        self._reply_latency = self._obs.histogram(
+            "dispatch.reply_latency_seconds"
+        )
+        self._depth_gauge = self._obs.gauge("dispatch.queue_depth")
         self._thread = threading.Thread(
             target=self._run, name="repro-dispatcher", daemon=True
         )
@@ -265,12 +326,12 @@ class AsyncDispatcher:
                 raise TransportError(f"worker {worker_id} is dead")
             while self._depth(worker_id) >= self._max_pending:
                 if not block:
-                    self.stats.rejected += 1
+                    self.stats.inc("rejected")
                     raise Backpressure(
                         f"worker {worker_id} queue full "
                         f"({self._max_pending} requests)"
                     )
-                self.stats.backpressure_waits += 1
+                self.stats.inc("backpressure_waits")
                 remaining = (
                     None if deadline is None
                     else deadline - time.monotonic()
@@ -292,13 +353,16 @@ class AsyncDispatcher:
                 ReplyFuture(self._completion, worker_id)
                 if reply_expected else None
             )
+            if future is not None and self._obs_enabled:
+                future.submitted_at = time.monotonic()
             self._pending.setdefault(worker_id, deque()).append(
                 _Request(frame, future, reply_expected)
             )
-            self.stats.submitted += 1
+            self.stats.inc("submitted")
             depth = self._depth(worker_id)
-            if depth > self.stats.max_queue_depth:
-                self.stats.max_queue_depth = depth
+            self.stats.record_depth(depth)
+            if self._obs_enabled:
+                self._depth_gauge.set(depth)
             self._cond.notify_all()
         return future
 
@@ -351,7 +415,7 @@ class AsyncDispatcher:
                 request.future._fail(
                     TransportError("dispatcher stopped before reply")
                 )
-            self.stats.failed += 1
+            self.stats.inc("failed")
 
     # ------------------------------------------------------------------
     # Dispatcher thread
@@ -399,9 +463,9 @@ class AsyncDispatcher:
                 self._cond.notify_all()
             if request.future is not None:
                 request.future._fail(exc)
-            self.stats.failed += 1
+            self.stats.inc("failed")
             return False
-        self.stats.dispatched += 1
+        self.stats.inc("dispatched")
         if request.future is not None:
             request.future.bytes_sent = stats.bytes_sent - sent_before
             request.future.shm_bytes = stats.shm_bytes - shm_before
@@ -425,10 +489,14 @@ class AsyncDispatcher:
                 # A reply with no matching request: a worker answered
                 # a fire-and-forget frame (protocol error surface) or
                 # an already-failed request.  Nothing waits for it.
-                self.stats.orphans += 1
+                self.stats.inc("orphans")
                 continue
             request.future.bytes_received = len(frame)
-            self.stats.completed += 1
+            self.stats.inc("completed")
+            if self._obs_enabled and request.future.submitted_at:
+                self._reply_latency.observe(
+                    time.monotonic() - request.future.submitted_at
+                )
             request.future._resolve(
                 frame if isinstance(frame, bytes) else bytes(frame)
             )
@@ -449,7 +517,7 @@ class AsyncDispatcher:
                     request.future._fail(
                         TransportError(f"worker {worker_id} died")
                     )
-                self.stats.failed += 1
+                self.stats.inc("failed")
 
     def _run(self) -> None:
         while True:

@@ -47,9 +47,9 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs as _obs
 from repro.structures.ranges import Box, QueryPlan, compile_query_plan
 
 
@@ -58,7 +58,6 @@ def _batch_bucket(size: int) -> int:
     return 1 << max(0, size - 1).bit_length() if size > 1 else size
 
 
-@dataclass
 class FrontendStats:
     """Cache/batch effectiveness counters (monitoring surface).
 
@@ -67,34 +66,73 @@ class FrontendStats:
     bounded no matter how the batch knob is tuned.  ``shed`` counts
     submissions refused by admission control (always 0 for the plain
     :class:`QueryFrontend`, which has no bounded queue).
+
+    Thread-safety contract: under a :class:`ServingFrontend` these
+    counters are written by tenant threads (``submitted``/``shed``)
+    *and* the flusher thread (``flushes``, the batch histogram), so a
+    bare ``+= 1`` would be a racy read-modify-write.  Every counter is
+    backed by a :class:`repro.obs.Counter` sharing one lock, mutated
+    through :meth:`inc` / :meth:`record_batch`; the dataclass-era
+    attribute reads and ``as_dict()`` shape are unchanged.  The same
+    counters surface in a metrics registry as ``serving.<field>``
+    (labelled by ``scope``) via :meth:`obs_metrics`.
     """
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    batteries: int = 0
-    queries: int = 0
-    submitted: int = 0
-    flushes: int = 0
-    shed: int = 0
-    batch_hist: Dict[int, int] = field(default_factory=dict)
+    _FIELDS = (
+        "hits", "misses", "evictions", "batteries", "queries",
+        "submitted", "flushes", "shed",
+    )
+
+    __slots__ = tuple("_" + name for name in _FIELDS) + (
+        "_lock", "batch_hist", "scope", "__weakref__",
+    )
+
+    def __init__(self, scope: str = "frontend"):
+        self._lock = threading.Lock()
+        self.scope = scope
+        self.batch_hist: Dict[int, int] = {}
+        for name in self._FIELDS:
+            setattr(self, "_" + name, _obs.Counter(self._lock))
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Atomically bump one counter (safe from any thread)."""
+        getattr(self, "_" + name).inc(n)
 
     def record_batch(self, size: int) -> None:
         bucket = _batch_bucket(size)
-        self.batch_hist[bucket] = self.batch_hist.get(bucket, 0) + 1
+        with self._lock:
+            self.batch_hist[bucket] = self.batch_hist.get(bucket, 0) + 1
 
     def as_dict(self) -> Dict[str, object]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "batteries": self.batteries,
-            "queries": self.queries,
-            "submitted": self.submitted,
-            "flushes": self.flushes,
-            "shed": self.shed,
-            "batch_hist": dict(sorted(self.batch_hist.items())),
+        out: Dict[str, object] = {
+            name: getattr(self, "_" + name).value for name in self._FIELDS
         }
+        with self._lock:
+            out["batch_hist"] = dict(sorted(self.batch_hist.items()))
+        return out
+
+    def obs_metrics(self):
+        """Registry collector hook: ``serving.<field>{scope=...}``."""
+        labels = {"scope": self.scope}
+        for name in self._FIELDS:
+            yield "serving." + name, labels, getattr(self, "_" + name)
+
+
+def _frontend_stat(name: str):
+    slot = "_" + name
+
+    def _get(self):
+        return getattr(self, slot).value
+
+    def _set(self, value):
+        getattr(self, slot).set(value)
+
+    return property(_get, _set, doc=f"Total {name}.")
+
+
+for _name in FrontendStats._FIELDS:
+    setattr(FrontendStats, _name, _frontend_stat(_name))
+del _name
 
 
 class PendingAnswer:
@@ -172,6 +210,7 @@ class QueryFrontend:
         self._pending: List[Tuple[str, object, PendingAnswer]] = []
         self._cache: "OrderedDict[tuple, object]" = OrderedDict()
         self.stats = FrontendStats()
+        _obs.get_registry().attach(self.stats)
 
     # ------------------------------------------------------------------
     # Snapshot cache
@@ -182,14 +221,14 @@ class QueryFrontend:
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
-            self.stats.hits += 1
+            self.stats.inc("hits")
             return cached
-        self.stats.misses += 1
+        self.stats.inc("misses")
         summary = self._supplier.snapshot(method)
         self._cache[key] = summary
         while len(self._cache) > self._slots:
             self._cache.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.inc("evictions")
         return summary
 
     def invalidate(self) -> None:
@@ -202,7 +241,7 @@ class QueryFrontend:
     def query(self, method: str, query) -> float:
         """One range-sum estimate against the latest state."""
         snap = self.snapshot(method)
-        self.stats.queries += 1
+        self.stats.inc("queries")
         if isinstance(query, Box):
             return float(snap.query(query))
         return float(snap.query_multi(query))
@@ -218,8 +257,8 @@ class QueryFrontend:
             queries if isinstance(queries, QueryPlan) else list(queries)
         )
         snap = self.snapshot(method)
-        self.stats.batteries += 1
-        self.stats.queries += len(queries)
+        self.stats.inc("batteries")
+        self.stats.inc("queries", len(queries))
         return list(snap.query_many(queries))
 
     def serve(
@@ -261,7 +300,7 @@ class QueryFrontend:
         """
         handle = PendingAnswer(self)
         self._pending.append((method, query, handle))
-        self.stats.submitted += 1
+        self.stats.inc("submitted")
         if len(self._pending) >= self._batch_size:
             try:
                 self.flush()
@@ -314,7 +353,7 @@ class QueryFrontend:
                 continue
             for (_query, handle), answer in zip(entries, answers):
                 handle._value = float(answer)
-        self.stats.flushes += 1
+        self.stats.inc("flushes")
         self.stats.record_batch(len(pending))
         if first_error is not None:
             raise first_error
@@ -415,6 +454,19 @@ class ServingFrontend:
     Each supplier gets its own inner :class:`QueryFrontend` (snapshot
     LRU + sort-order reuse); only the flusher thread touches them, so
     they need no locking of their own.
+
+    **Per-tenant accounting** is always on: every tenant gets a
+    served/shed counter pair and a power-of-two log-bucket latency
+    histogram (enqueue -> answer-resolved, measured from the stamps
+    the open-loop harness already relies on), surfaced through
+    ``stats()["tenants"]`` and -- labelled ``tenant=...`` -- through
+    any attached metrics registry.  Latencies are recorded once per
+    flush via the histogram's vectorized ``observe_many``, so the
+    accounting costs per-batch, not per-query, work.
+
+    ``registry`` (default: the process-global one) additionally gates
+    the pay-for-what-you-use extras: flush spans, the
+    ``serving.batch_size`` histogram and the live queue-depth gauge.
     """
 
     def __init__(
@@ -427,6 +479,7 @@ class ServingFrontend:
         max_pending: int = 1024,
         tenant_share: float = 0.25,
         start: bool = True,
+        registry=None,
     ):
         if not isinstance(suppliers, (list, tuple)):
             suppliers = [suppliers]
@@ -451,16 +504,52 @@ class ServingFrontend:
         self._queue: "deque[_QueueEntry]" = deque()
         self._tenant_pending: Dict[str, int] = {}
         self._flush_lock = threading.Lock()
-        self._stats = FrontendStats()
-        self._flushes_size = 0
-        self._flushes_deadline = 0
-        self._flushes_forced = 0
-        self._shed_tenant = 0
-        self._max_queue_depth = 0
+        self._stats = FrontendStats(scope="serving")
+        self._flushes_size = _obs.Counter()
+        self._flushes_deadline = _obs.Counter()
+        self._flushes_forced = _obs.Counter()
+        self._shed_tenant = _obs.Counter()
+        self._max_queue_depth = 0  # guarded by self._cond
+        # Always-on per-tenant accounting (keys appear on first use;
+        # mutation under self._cond for the counters created in
+        # submit(), the histograms are internally locked).
+        self._tenant_served: Dict[str, _obs.Counter] = {}
+        self._tenant_shed: Dict[str, _obs.Counter] = {}
+        self._tenant_lat: Dict[str, _obs.Histogram] = {}
+        self._obs = registry if registry is not None else _obs.get_registry()
+        self._obs.attach(self._stats)
+        self._obs.attach(self)
+        self._obs_enabled = self._obs.enabled
+        self._batch_size_hist = self._obs.histogram("serving.batch_size")
+        self._queue_gauge = self._obs.gauge("serving.queue_depth")
         self._running = False
         self._thread: Optional[threading.Thread] = None
         if start:
             self.start()
+
+    def _tenant(self, store: Dict, tenant: str, factory):
+        """The tenant's metric, created under ``self._cond`` on first use."""
+        metric = store.get(tenant)
+        if metric is None:
+            metric = store[tenant] = factory()
+        return metric
+
+    def obs_metrics(self):
+        """Registry collector hook: per-tenant + flush-reason metrics."""
+        with self._cond:
+            served = list(self._tenant_served.items())
+            shed = list(self._tenant_shed.items())
+            lat = list(self._tenant_lat.items())
+        for tenant, counter in served:
+            yield "serving.tenant_served", {"tenant": tenant}, counter
+        for tenant, counter in shed:
+            yield "serving.tenant_shed", {"tenant": tenant}, counter
+        for tenant, hist in lat:
+            yield "serving.tenant_latency_seconds", {"tenant": tenant}, hist
+        yield "serving.flushes_size", {}, self._flushes_size
+        yield "serving.flushes_deadline", {}, self._flushes_deadline
+        yield "serving.flushes_forced", {}, self._flushes_forced
+        yield "serving.shed_tenant", {}, self._shed_tenant
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -505,13 +594,15 @@ class ServingFrontend:
         """
         with self._cond:
             if len(self._queue) >= self._max_pending:
-                self._stats.shed += 1
+                self._stats.inc("shed")
+                self._tenant(self._tenant_shed, tenant, _obs.Counter).inc()
                 raise OverloadError(
                     f"pending queue full ({self._max_pending} queries)"
                 )
             if self._tenant_pending.get(tenant, 0) >= self._tenant_cap:
-                self._stats.shed += 1
-                self._shed_tenant += 1
+                self._stats.inc("shed")
+                self._shed_tenant.inc()
+                self._tenant(self._tenant_shed, tenant, _obs.Counter).inc()
                 raise OverloadError(
                     f"tenant {tenant!r} over its fair share "
                     f"({self._tenant_cap} pending queries)"
@@ -523,10 +614,12 @@ class ServingFrontend:
             self._tenant_pending[tenant] = (
                 self._tenant_pending.get(tenant, 0) + 1
             )
-            self._stats.submitted += 1
+            self._stats.inc("submitted")
             depth = len(self._queue)
             if depth > self._max_queue_depth:
                 self._max_queue_depth = depth
+            if self._obs_enabled:
+                self._queue_gauge.set(depth)
             # Wake the flusher when the batch is full -- and on the
             # first entry, so an idle flusher starts this batch's
             # max_delay deadline clock instead of sleeping through it.
@@ -569,7 +662,7 @@ class ServingFrontend:
             batch = self._take_locked(None)
         if not batch:
             return 0
-        self._flushes_forced += 1
+        self._flushes_forced.inc()
         self._answer(batch)
         return len(batch)
 
@@ -596,38 +689,76 @@ class ServingFrontend:
                     self._cond.wait(0.05)
                     continue
             if size_flush:
-                self._flushes_size += 1
+                self._flushes_size.inc()
             else:
-                self._flushes_deadline += 1
+                self._flushes_deadline.inc()
             self._answer(batch)
 
     def _answer(self, batch: List[_QueueEntry]) -> None:
         """Answer one drained batch: one kernel call per method per backend."""
         with self._flush_lock:
-            by_method: "OrderedDict[str, List[_QueueEntry]]" = OrderedDict()
-            for entry in batch:
-                by_method.setdefault(entry.method, []).append(entry)
-            self._stats.flushes += 1
-            self._stats.record_batch(len(batch))
-            for method, entries in by_method.items():
-                queries = [entry.query for entry in entries]
-                try:
-                    # Compile the battery once; every backend's kernel
-                    # consumes the same plan (the serve() trick, across
-                    # suppliers instead of methods).
-                    plan = (
-                        compile_query_plan(queries)
-                        if len(self._backends) > 1 else queries
-                    )
-                    per_backend = [
-                        backend.query_many(method, plan)
-                        for backend in self._backends
-                    ]
-                except Exception:
-                    self._answer_singly(method, entries)
-                    continue
-                for entry, values in zip(entries, zip(*per_backend)):
-                    entry.answer._resolve(sum(values))
+            span = (
+                self._obs.span("serving.flush", size=len(batch))
+                if self._obs_enabled else _obs.NULL_SPAN
+            )
+            with span:
+                by_method: "OrderedDict[str, List[_QueueEntry]]" = (
+                    OrderedDict()
+                )
+                for entry in batch:
+                    by_method.setdefault(entry.method, []).append(entry)
+                self._stats.inc("flushes")
+                self._stats.record_batch(len(batch))
+                if self._obs_enabled:
+                    self._batch_size_hist.observe(len(batch))
+                for method, entries in by_method.items():
+                    queries = [entry.query for entry in entries]
+                    try:
+                        # Compile the battery once; every backend's
+                        # kernel consumes the same plan (the serve()
+                        # trick, across suppliers instead of methods).
+                        plan = (
+                            compile_query_plan(queries)
+                            if len(self._backends) > 1 else queries
+                        )
+                        per_backend = [
+                            backend.query_many(method, plan)
+                            for backend in self._backends
+                        ]
+                    except Exception:
+                        self._answer_singly(method, entries)
+                        continue
+                    for entry, values in zip(entries, zip(*per_backend)):
+                        entry.answer._resolve(sum(values))
+            self._account_latency(batch)
+
+    def _account_latency(self, batch: List[_QueueEntry]) -> None:
+        """Record enqueue->resolve latency per tenant, one pass per flush.
+
+        ``done_at`` is stamped by ``_resolve``/``_fail``, so every
+        entry of a flushed batch carries its service time already;
+        grouping by tenant and using ``observe_many`` keeps the cost
+        per-batch.  Served counts track *answered* queries (failed
+        ones still count: the tenant occupied a slot either way).
+        """
+        by_tenant: Dict[str, List[float]] = {}
+        for entry in batch:
+            done_at = entry.answer.done_at
+            if done_at is None:  # pragma: no cover - answer paths stamp it
+                continue
+            by_tenant.setdefault(entry.answer.tenant, []).append(
+                done_at - entry.enqueued_at
+            )
+        for tenant, latencies in by_tenant.items():
+            with self._cond:
+                served = self._tenant(
+                    self._tenant_served, tenant, _obs.Counter
+                )
+                hist = self._tenant(
+                    self._tenant_lat, tenant, _obs.Histogram
+                )
+            served.inc(len(latencies))
+            hist.observe_many(latencies)
 
     def _answer_singly(self, method: str, entries: List[_QueueEntry]) -> None:
         """Fault isolation: pin errors on the queries that actually fail."""
@@ -650,7 +781,11 @@ class ServingFrontend:
         Cache counters (hits/misses/evictions) are summed across the
         per-supplier frontends; serving counters (submitted, sheds,
         flush reasons, batch histogram, queue depths) come from this
-        service's own lifetime.
+        service's own lifetime.  ``tenants`` maps every tenant seen so
+        far to its served/shed counts, shed ratio and latency
+        percentiles (power-of-two bucket upper bounds, milliseconds)
+        -- the per-tenant accounting the admission-control counters
+        only hinted at.
         """
         merged = self._stats.as_dict()
         for key in ("hits", "misses", "evictions", "batteries", "queries"):
@@ -660,11 +795,41 @@ class ServingFrontend:
         with self._cond:
             merged.update({
                 "suppliers": len(self._backends),
-                "flushes_size": self._flushes_size,
-                "flushes_deadline": self._flushes_deadline,
-                "flushes_forced": self._flushes_forced,
-                "shed_tenant": self._shed_tenant,
+                "flushes_size": self._flushes_size.value,
+                "flushes_deadline": self._flushes_deadline.value,
+                "flushes_forced": self._flushes_forced.value,
+                "shed_tenant": self._shed_tenant.value,
                 "max_queue_depth": self._max_queue_depth,
                 "pending": len(self._queue),
             })
+            tenants = sorted(
+                set(self._tenant_served) | set(self._tenant_shed)
+            )
+            served = {
+                t: c.value for t, c in self._tenant_served.items()
+            }
+            shed = {t: c.value for t, c in self._tenant_shed.items()}
+            hists = dict(self._tenant_lat)
+        per_tenant: Dict[str, Dict[str, object]] = {}
+        for tenant in tenants:
+            n_served = served.get(tenant, 0)
+            n_shed = shed.get(tenant, 0)
+            entry: Dict[str, object] = {
+                "served": n_served,
+                "shed": n_shed,
+                "shed_ratio": (
+                    n_shed / (n_served + n_shed)
+                    if (n_served + n_shed) else 0.0
+                ),
+            }
+            hist = hists.get(tenant)
+            if hist is not None and hist.count:
+                entry.update({
+                    "p50_ms": hist.percentile(0.50) * 1e3,
+                    "p95_ms": hist.percentile(0.95) * 1e3,
+                    "p99_ms": hist.percentile(0.99) * 1e3,
+                    "mean_ms": hist.total / hist.count * 1e3,
+                })
+            per_tenant[tenant] = entry
+        merged["tenants"] = per_tenant
         return merged

@@ -52,6 +52,8 @@ import struct
 from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs as _obs
+
 _LEN = struct.Struct("<I")
 _U8 = struct.Struct("<B")
 
@@ -71,24 +73,57 @@ class WireStats:
     through shared memory count their descriptor there and their
     payload under ``shm_bytes`` -- the whole point of that transport
     is that the payload never crosses the pipe.
+
+    Storage is a :class:`repro.obs.Counter` per field, so the same
+    numbers surface in a :class:`~repro.obs.MetricsRegistry` snapshot
+    (``wire.*`` namespace, labelled by transport) while the historical
+    attribute reads / ``+=`` writes keep working unchanged.  Thread
+    safety: all writes come from the single dispatcher selector thread
+    (the transport ownership contract above); cross-thread *reads* --
+    the dispatcher stamping per-future deltas, benchmarks snapshotting
+    -- see each counter atomically.
     """
 
-    __slots__ = (
+    _FIELDS = (
         "frames_sent", "bytes_sent", "frames_received", "bytes_received",
         "shm_frames", "shm_bytes",
     )
 
-    def __init__(self):
-        self.frames_sent = 0
-        self.bytes_sent = 0
-        self.frames_received = 0
-        self.bytes_received = 0
-        self.shm_frames = 0
-        self.shm_bytes = 0
+    __slots__ = tuple("_" + field for field in _FIELDS) + (
+        "transport_name", "__weakref__",
+    )
+
+    def __init__(self, transport_name: str = "?"):
+        self.transport_name = transport_name
+        for field in self._FIELDS:
+            setattr(self, "_" + field, _obs.Counter())
 
     def snapshot(self) -> Dict[str, int]:
         """The counters as a plain dict (benchmark records)."""
-        return {key: getattr(self, key) for key in self.__slots__}
+        return {key: getattr(self, key) for key in self._FIELDS}
+
+    def obs_metrics(self):
+        """Registry collector hook: ``wire.<field>{transport=...}``."""
+        labels = {"transport": self.transport_name}
+        for field in self._FIELDS:
+            yield "wire." + field, labels, getattr(self, "_" + field)
+
+
+def _wire_stat(field: str):
+    slot = "_" + field
+
+    def _get(self):
+        return getattr(self, slot).value
+
+    def _set(self, value):
+        getattr(self, slot).set(value)
+
+    return property(_get, _set, doc=f"Total {field.replace('_', ' ')}.")
+
+
+for _field in WireStats._FIELDS:
+    setattr(WireStats, _field, _wire_stat(_field))
+del _field
 
 
 class BaseTransport:
@@ -102,7 +137,8 @@ class BaseTransport:
     zero_copy = False
 
     def __init__(self):
-        self.stats = WireStats()
+        self.stats = WireStats(self.name)
+        _obs.get_registry().attach(self.stats)
 
     def start(self, num_workers: int) -> None:
         """Spawn/attach ``num_workers`` workers (ids ``0..n-1``)."""

@@ -195,6 +195,11 @@ def _register_defaults() -> None:
     register_codec("qdigest-stream", StreamingQDigest)
     register_codec("wavelet", WaveletSummary)
     register_codec("sketch", DyadicSketchSummary)
+    # Telemetry histograms ship worker -> coordinator over the same
+    # wire as summaries (merge = bucket-count addition).
+    from repro.obs.metrics import Histogram as _ObsHistogram
+
+    register_codec("obs-hist", _ObsHistogram)
 
 
 _register_defaults()

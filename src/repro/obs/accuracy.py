@@ -1,0 +1,130 @@
+"""Live accuracy telemetry: per-window discrepancy and VarOpt tau drift.
+
+Serving a summary is only half the job; the operator also needs to see
+*how wrong* the estimates currently are and whether the sampler's
+inclusion threshold is drifting under the live key distribution.  An
+:class:`AccuracyProbe` watches a :class:`~repro.stream.engine.
+StreamEngine` that carries an exact reference method alongside its
+approximate ones and, every ``stride``-th tick, runs a fixed query
+battery through ``query_many_now`` and records per method:
+
+* ``accuracy.discrepancy{method=...}`` -- the battery's maximum
+  absolute estimate error vs the reference (the same max-|est-exact|
+  statistic ``core/discrepancy.py`` computes offline);
+* ``accuracy.tau{method=...}`` -- the snapshot's current VarOpt/IPPS
+  inclusion threshold, when the summary exposes one;
+* ``accuracy.tau_drift{method=...}`` -- the absolute change in tau
+  since the previous observation (the ROADMAP's "tau drift" signal:
+  a tau sprinting upward means the live keys are out-skewing the
+  sample size).
+
+The probe shares the engine's fold cache -- one battery per tick costs
+one compiled plan against already-cached snapshots -- and ``stride``
+spaces the ticks so accuracy telemetry stays off the per-batch hot
+path.  All gauges land in the registry under the ``accuracy.*``
+namespace, next to the wire/dispatch/serving metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["AccuracyProbe"]
+
+
+class AccuracyProbe:
+    """Periodic estimate-vs-reference discrepancy and tau telemetry.
+
+    Parameters
+    ----------
+    engine:
+        A stream engine whose registered methods include ``reference``.
+    queries:
+        The fixed query battery to evaluate (anything the engine's
+        ``query_many_now`` accepts).
+    reference:
+        The method treated as ground truth (default ``"exact"``).
+    stride:
+        Observe on every ``stride``-th :meth:`tick` (default 1).
+    registry:
+        Metrics registry; defaults to the process-global one.
+    """
+
+    def __init__(self, engine, queries: Sequence, *,
+                 reference: str = "exact", stride: int = 1,
+                 registry=None):
+        if registry is None:
+            from repro.obs import get_registry
+
+            registry = get_registry()
+        methods = list(engine.methods)
+        if reference not in methods:
+            raise ValueError(
+                f"reference method {reference!r} not registered on the "
+                f"engine; have {methods}"
+            )
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.engine = engine
+        self.queries = list(queries)
+        self.reference = reference
+        self.stride = int(stride)
+        self.registry = registry
+        self._methods = [m for m in methods if m != reference]
+        self._ticks = 0
+        self._observations = registry.counter("accuracy.observations")
+        self._disc = {
+            m: registry.gauge("accuracy.discrepancy", method=m)
+            for m in self._methods
+        }
+        self._tau = {
+            m: registry.gauge("accuracy.tau", method=m)
+            for m in self._methods
+        }
+        self._tau_drift = {
+            m: registry.gauge("accuracy.tau_drift", method=m)
+            for m in self._methods
+        }
+        self._last_tau: Dict[str, float] = {}
+
+    def tick(self) -> Optional[Dict[str, Dict[str, float]]]:
+        """Count one tick; observe on every ``stride``-th.
+
+        Call once per ingested batch (or per pane seal).  Returns the
+        observation dict when one was taken, else ``None``.
+        """
+        self._ticks += 1
+        if self._ticks % self.stride:
+            return None
+        return self.observe()
+
+    def observe(self) -> Dict[str, Dict[str, float]]:
+        """Force an observation now; returns per-method readings.
+
+        The result maps each non-reference method to a dict with
+        ``discrepancy`` and, when the summary exposes a threshold,
+        ``tau`` / ``tau_drift``.
+        """
+        answers = self.engine.query_many_now(self.queries)
+        exact = np.asarray(answers[self.reference], dtype=float)
+        out: Dict[str, Dict[str, float]] = {}
+        for method in self._methods:
+            estimates = np.asarray(answers[method], dtype=float)
+            disc = float(np.max(np.abs(estimates - exact))) \
+                if exact.size else 0.0
+            reading = {"discrepancy": disc}
+            self._disc[method].set(disc)
+            tau = getattr(self.engine.snapshot(method), "tau", None)
+            if tau is not None:
+                tau = float(tau)
+                drift = abs(tau - self._last_tau.get(method, tau))
+                self._last_tau[method] = tau
+                self._tau[method].set(tau)
+                self._tau_drift[method].set(drift)
+                reading["tau"] = tau
+                reading["tau_drift"] = drift
+            out[method] = reading
+        self._observations.inc()
+        return out

@@ -1,0 +1,72 @@
+"""Exporters: Prometheus-style text exposition over a registry snapshot.
+
+The third export surface next to ``registry.snapshot()``/``delta()``
+dicts and ``registry.report_timeline()`` JSONL records.  ``expose``
+renders the snapshot in the Prometheus text format so the output can
+be pasted into any promtool-compatible consumer:
+
+* metric names: dots become underscores, everything under a
+  ``repro_`` prefix (``wire.bytes_sent`` -> ``repro_wire_bytes_sent``);
+* labels carry over verbatim (``{tenant="t3"}``);
+* histograms render as cumulative ``_bucket{le="..."}`` series with
+  the power-of-two upper edges as ``le`` values, plus ``_sum`` and
+  ``_count`` -- the standard histogram triple.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+__all__ = ["expose"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _split_key(key: str) -> Tuple[str, str]:
+    """Split a snapshot key into (prometheus name, label block)."""
+    name, labels = key, ""
+    if key.endswith("}") and "{" in key:
+        name, _, rest = key.partition("{")
+        pairs = []
+        for pair in rest[:-1].split(","):
+            label, _, value = pair.partition("=")
+            pairs.append('%s="%s"' % (_NAME_RE.sub("_", label), value))
+        labels = "{" + ",".join(pairs) + "}"
+    return "repro_" + _NAME_RE.sub("_", name), labels
+
+
+def _label_join(labels: str, extra: str) -> str:
+    if not labels:
+        return "{" + extra + "}"
+    return labels[:-1] + "," + extra + "}"
+
+
+def expose(snapshot: Dict[str, object]) -> str:
+    """Render one ``registry.snapshot()`` dict as exposition text."""
+    lines: List[str] = []
+    for key in sorted(snapshot):
+        value = snapshot[key]
+        name, labels = _split_key(key)
+        if isinstance(value, dict):  # histogram snapshot
+            cumulative = value.get("zero", 0)
+            for exp in sorted(value.get("buckets", {}), key=int):
+                cumulative += value["buckets"][exp]
+                le = 'le="%r"' % math.ldexp(1.0, int(exp))
+                lines.append(
+                    "%s_bucket%s %d"
+                    % (name, _label_join(labels, le), cumulative)
+                )
+            lines.append(
+                '%s_bucket%s %d'
+                % (name, _label_join(labels, 'le="+Inf"'),
+                   value.get("count", 0))
+            )
+            lines.append("%s_sum%s %r" % (name, labels,
+                                          value.get("total", 0.0)))
+            lines.append("%s_count%s %d" % (name, labels,
+                                            value.get("count", 0)))
+        else:
+            lines.append("%s%s %r" % (name, labels, value))
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,142 @@
+"""Context-manager spans with monotonic timing and a bounded trace ring.
+
+A :class:`Span` brackets one unit of work -- a flush, a pane seal, a
+``run_tasks`` round -- with ``time.monotonic()`` stamps and, on exit,
+appends a finished-span record to the registry's :class:`TraceRing`
+and observes its duration into a ``trace.<name>_seconds`` histogram.
+Parent links come from a thread-local span stack, so nested ``with``
+blocks (a two-pass build inside a coordinator round) reconstruct as a
+tree without any explicit plumbing.
+
+The ring is a ``deque(maxlen=capacity)``: memory is bounded no matter
+how long the process serves, and ``TraceRing.spans()`` returns the most
+recent completed spans oldest-first for dumping or assertions.  On a
+disabled registry ``registry.span(...)`` returns :data:`NULL_SPAN`, a
+shared no-op context manager -- entering it costs two empty calls.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "TraceRing", "NULL_SPAN"]
+
+_STACK = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_STACK, "spans", None)
+    if stack is None:
+        stack = _STACK.spans = []
+    return stack
+
+
+class Span:
+    """One timed unit of work; use as a context manager.
+
+    Span ids are ring-local monotone integers; ``parent_id`` is the id
+    of the span that was open on the same thread when this one started
+    (``None`` at the root).  ``duration`` is valid after exit.
+    """
+
+    __slots__ = ("name", "tags", "span_id", "parent_id", "start",
+                 "duration", "error", "_ring", "_hist")
+
+    def __init__(self, ring: "TraceRing", name: str, hist, tags):
+        self.name = name
+        self.tags = tags or {}
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.start = 0.0
+        self.duration = 0.0
+        self.error: Optional[str] = None
+        self._ring = ring
+        self._hist = hist
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        self.span_id = self._ring.next_id()
+        if stack:
+            self.parent_id = stack[-1].span_id
+        stack.append(self)
+        self.start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.monotonic() - self.start
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._ring.record(self)
+        if self._hist is not None:
+            self._hist.observe(self.duration)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span: what a disabled registry's ``span()`` costs."""
+
+    __slots__ = ()
+    name = ""
+    tags: Dict[str, object] = {}
+    span_id = None
+    parent_id = None
+    duration = 0.0
+    error = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class TraceRing:
+    """Bounded store of completed spans (most recent ``capacity``)."""
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=self.capacity)
+        self._next_id = 0
+
+    def next_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._ring.append({
+                "name": span.name,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "start": span.start,
+                "duration": span.duration,
+                "error": span.error,
+                "tags": span.tags,
+            })
+
+    def span(self, name: str, hist, tags) -> Span:
+        return Span(self, name, hist, tags)
+
+    def spans(self, name: Optional[str] = None) -> List[dict]:
+        """Completed spans oldest-first, optionally filtered by name."""
+        with self._lock:
+            out = list(self._ring)
+        if name is not None:
+            out = [span for span in out if span["name"] == name]
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)

@@ -24,11 +24,13 @@ from the same seed and fed the same stream report identical answers.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.engine.builder import fold_snapshots
 from repro.stream.incremental import derive_seed, incremental_summary
 from repro.stream.types import MicroBatch
@@ -172,6 +174,7 @@ class StreamEngine:
         seed: int = 0,
         stale_fraction: float = 0.0,
         on_pane_sealed=None,
+        registry=None,
     ):
         if isinstance(methods, str):
             methods = [methods]
@@ -190,6 +193,17 @@ class StreamEngine:
         self._items = 0
         self._batches = 0
         self._fold_cache: Dict[str, tuple] = {}
+        # Telemetry (repro.obs): the ingest hot path pays one enabled
+        # branch per batch; everything else records only when the
+        # registry is enabled.
+        self._obs = registry if registry is not None else _obs.get_registry()
+        self._obs_enabled = self._obs.enabled
+        self._items_ctr = self._obs.counter("stream.items_ingested")
+        self._batches_ctr = self._obs.counter("stream.batches_ingested")
+        self._ingest_hist = self._obs.histogram("stream.ingest_seconds")
+        self._seal_hist = self._obs.histogram("stream.pane_seal_seconds")
+        self._seals_ctr = self._obs.counter("stream.panes_sealed")
+        self._panes_gauge = self._obs.gauge("stream.panes_retained")
         # Fail fast on unknown names (and 1-D-only methods on 2-D
         # domains) by building pane 0's summaries eagerly.
         self._panes.append(self._new_pane(0))
@@ -204,6 +218,17 @@ class StreamEngine:
         boundaries (each slice lands in its own pane); otherwise the
         batch is assigned to one pane by its batch timestamp.
         """
+        if not self._obs_enabled:
+            self._process(batch)
+            return
+        started = time.perf_counter()
+        items_before = self._items
+        self._process(batch)
+        self._ingest_hist.observe(time.perf_counter() - started)
+        self._items_ctr.inc(self._items - items_before)
+        self._batches_ctr.inc()
+
+    def _process(self, batch) -> None:
         coords, weights, ts, item_ts = self._coerce(batch)
         if (
             item_ts is not None
@@ -303,9 +328,18 @@ class StreamEngine:
         if index == current.index:
             return current
         # Time advanced past the current pane: seal and roll forward.
-        current.seal()
-        if self._on_pane_sealed is not None:
-            self._on_pane_sealed(current.index, dict(current.sealed))
+        if self._obs_enabled:
+            started = time.perf_counter()
+            with self._obs.span("stream.pane_seal", pane=current.index):
+                current.seal()
+                if self._on_pane_sealed is not None:
+                    self._on_pane_sealed(current.index, dict(current.sealed))
+            self._seal_hist.observe(time.perf_counter() - started)
+            self._seals_ctr.inc()
+        else:
+            current.seal()
+            if self._on_pane_sealed is not None:
+                self._on_pane_sealed(current.index, dict(current.sealed))
         if self._window.kind == "tumbling":
             # Pane == window for tumbling: the sealed pane IS the
             # completed window -- but only when no empty windows
@@ -317,6 +351,8 @@ class StreamEngine:
         pane = self._new_pane(index)
         self._panes.append(pane)
         self._prune(ts)
+        if self._obs_enabled:
+            self._panes_gauge.set(len(self._panes))
         return pane
 
     def _prune(self, now: float) -> None:

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.aware.hierarchy_sampler import aggregate_hierarchy_levels
 from repro.aware.kd import KDNode
 from repro.aware.product_sampler import fold_kd_leftovers
@@ -194,6 +195,9 @@ class TwoPassSampler:
         self._labeler = labeler
         self._strict_seed = bool(strict_seed)
         self.last_partition = None  # exposed for tests/diagnostics
+        # Build-phase tracing (repro.obs): no-op spans unless the
+        # process-global registry is enabled.
+        self._obs = _obs.get_registry()
 
     def _resolve_partition_kind(self, dataset: Dataset) -> str:
         if self._partition_kind != "auto":
@@ -207,9 +211,13 @@ class TwoPassSampler:
 
     def fit(self, dataset: Dataset) -> SampleSummary:
         """Run both passes over ``dataset`` and return the summary."""
-        if self._strict_seed:
-            return self._fit_scalar(dataset)
-        return self._fit_batched(dataset)
+        with self._obs.span(
+            "twopass.fit", n=dataset.weights.shape[0], s=self._s,
+            strict_seed=self._strict_seed,
+        ):
+            if self._strict_seed:
+                return self._fit_scalar(dataset)
+            return self._fit_batched(dataset)
 
     def _fit_batched(self, dataset: Dataset) -> SampleSummary:
         """Vectorized passes: same pipeline, NumPy kernels throughout.
@@ -223,7 +231,8 @@ class TwoPassSampler:
         rng = self._rng
         s = self._s
         weights = dataset.weights
-        tau = ipps_threshold(weights, s)
+        with self._obs.span("twopass.threshold"):
+            tau = ipps_threshold(weights, s)
         if tau == 0.0:
             # The sample size covers every positive-weight key.
             mask = weights > 0
@@ -239,32 +248,38 @@ class TwoPassSampler:
         # identical IPPS inclusion probabilities at a fraction of the
         # cost.  Keys certain to be sampled (w >= tau_s) are excluded
         # from the partition construction, as in the scalar pass.
-        guide_rows, _guide_tau = varopt_sample(
-            weights, s * self._factor, rng
-        )
-        guide_rows = guide_rows[weights[guide_rows] < tau]
-        guide_items = [
-            (tuple(key), float(weight))
-            for key, weight in zip(
-                dataset.coords[guide_rows].tolist(), weights[guide_rows]
+        with self._obs.span("twopass.guide_sample"):
+            guide_rows, _guide_tau = varopt_sample(
+                weights, s * self._factor, rng
             )
-        ]
+            guide_rows = guide_rows[weights[guide_rows] < tau]
+            guide_items = [
+                (tuple(key), float(weight))
+                for key, weight in zip(
+                    dataset.coords[guide_rows].tolist(), weights[guide_rows]
+                )
+            ]
         kind = self._resolve_partition_kind(dataset)
-        partition = self._build_partition(dataset, kind, guide_items, tau)
+        with self._obs.span("twopass.partition", kind=kind):
+            partition = self._build_partition(
+                dataset, kind, guide_items, tau
+            )
         self.last_partition = partition
         # ---- Pass 2: route + segmented per-cell aggregation ------------
-        p = np.minimum(1.0, weights / tau)
-        heavy_rows = np.flatnonzero(p >= 1.0 - SET_EPS)
-        light_rows = np.flatnonzero((p > SET_EPS) & (p < 1.0 - SET_EPS))
-        codes = partition.cell_codes(dataset.coords[light_rows])
-        committed, active_rows, active_probs, active_codes = aggregate_cells(
-            p, light_rows, codes, rng
-        )
+        with self._obs.span("twopass.aggregate", kind=kind):
+            p = np.minimum(1.0, weights / tau)
+            heavy_rows = np.flatnonzero(p >= 1.0 - SET_EPS)
+            light_rows = np.flatnonzero((p > SET_EPS) & (p < 1.0 - SET_EPS))
+            codes = partition.cell_codes(dataset.coords[light_rows])
+            committed, active_rows, active_probs, active_codes = (
+                aggregate_cells(p, light_rows, codes, rng)
+            )
         # ---- Final phase: aggregate the active records -----------------
-        final_rows = self._finalize_batched(
-            dataset, kind, partition, active_rows, active_probs,
-            active_codes, rng,
-        )
+        with self._obs.span("twopass.finalize", kind=kind):
+            final_rows = self._finalize_batched(
+                dataset, kind, partition, active_rows, active_probs,
+                active_codes, rng,
+            )
         rows = np.concatenate((heavy_rows, committed, final_rows))
         return SampleSummary(
             coords=dataset.coords[rows],
