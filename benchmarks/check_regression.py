@@ -78,6 +78,14 @@ MEASUREMENT_KEYS = frozenset({
     "overhead_ratio",
     "wall_time_disabled_s",
     "wall_time_enabled_s",
+    # Durability measurements (bench_recovery): the checkpoint-overhead
+    # ratio is gated by check_recovery, the raw times and the
+    # whole-run wall time move with the machine.
+    "checkpoint_overhead_ratio",
+    "wall_time_nostore_s",
+    "wall_time_store_s",
+    "checkpoint_call_s",
+    "total_wall_time_s",
 })
 
 #: Throughput fields accepted when a record carries no wall time
@@ -179,6 +187,40 @@ def check_obs(
                 continue
             compared += 1
             ratio = float(record["overhead_ratio"])
+            if ratio > max_overhead:
+                failures.append(
+                    (payload.get("benchmark", path.stem), record, ratio)
+                )
+    return failures, compared
+
+
+def check_recovery(
+    fresh_dir: pathlib.Path,
+    max_overhead: float,
+    min_seconds: float,
+) -> Tuple[list, int]:
+    """Durability gate: checkpointing overhead on the ingest hot path.
+
+    Any fresh record carrying ``checkpoint_overhead_ratio`` (the
+    ``checkpoint-overhead`` records of the recovery benchmark) times
+    the *same* ingest twice in one process -- no store, then the
+    write-ahead log attached -- so the ratio is self-calibrated and
+    gated without a baseline: it fails when durable logging costs more
+    than ``max_overhead`` on the hot path (the <=10% acceptance
+    criterion).  Records whose no-store wall time is below
+    ``min_seconds`` are skipped, same as the other gates.
+    """
+    failures = []
+    compared = 0
+    for path in sorted(fresh_dir.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text())
+        for record in payload.get("records", []):
+            if "checkpoint_overhead_ratio" not in record:
+                continue
+            if float(record.get("wall_time_nostore_s", 0.0)) < min_seconds:
+                continue
+            compared += 1
+            ratio = float(record["checkpoint_overhead_ratio"])
             if ratio > max_overhead:
                 failures.append(
                     (payload.get("benchmark", path.stem), record, ratio)
@@ -288,6 +330,10 @@ def main(argv=None) -> int:
     parser.add_argument("--max-obs-overhead", type=float, default=1.05,
                         help="fail when enabled-telemetry overhead on the "
                              "hot path exceeds this ratio")
+    parser.add_argument("--max-checkpoint-overhead", type=float,
+                        default=1.10,
+                        help="fail when durable checkpointing overhead on "
+                             "the ingest hot path exceeds this ratio")
     args = parser.parse_args(argv)
 
     baseline = load_records(args.baseline)
@@ -342,16 +388,31 @@ def main(argv=None) -> int:
     obs_failures, obs_compared = check_obs(
         args.fresh, args.max_obs_overhead, args.min_seconds
     )
+    recovery_failures, recovery_compared = check_recovery(
+        args.fresh, args.max_checkpoint_overhead, args.min_seconds
+    )
     print(
         f"compared {len(compared)} records (calibration {calibration:.2f}x),"
         f" skipped {skipped} below {args.min_seconds}s,"
         f" {serving_compared} serving sweep points,"
         f" {obs_compared} telemetry-overhead records,"
+        f" {recovery_compared} checkpoint-overhead records,"
         f" {len(failures)} regressions,"
         f" {len(serving_failures)} serving violations,"
         f" {len(wire_failures)} wire-size violations,"
-        f" {len(obs_failures)} telemetry-overhead violations"
+        f" {len(obs_failures)} telemetry-overhead violations,"
+        f" {len(recovery_failures)} checkpoint-overhead violations"
     )
+    if recovery_failures:
+        print(
+            "CHECKPOINT-OVERHEAD VIOLATIONS "
+            f"(store/no-store > {args.max_checkpoint_overhead:.2f}x):"
+        )
+        for benchmark, record, ratio in recovery_failures:
+            print(f"  {benchmark} {record.get('backend')}: x{ratio:.3f} "
+                  f"(no store "
+                  f"{record.get('wall_time_nostore_s', 0.0):.4f}s -> "
+                  f"store {record.get('wall_time_store_s', 0.0):.4f}s)")
     if obs_failures:
         print(
             "TELEMETRY-OVERHEAD VIOLATIONS "
@@ -378,6 +439,7 @@ def main(argv=None) -> int:
             print(f"  {key[0]} {dict(key[1:])}: {adjusted:.2f}x")
     return 1 if (
         failures or wire_failures or serving_failures or obs_failures
+        or recovery_failures
     ) else 0
 
 

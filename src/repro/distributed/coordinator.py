@@ -21,6 +21,7 @@ Two entry points sit on top of the generic :class:`Coordinator`:
 from __future__ import annotations
 
 import os
+import random
 import threading
 import time
 from collections import deque
@@ -96,6 +97,15 @@ class Coordinator:
     max_retries:
         How many times one task may be re-dispatched after a worker
         error or death before the operation fails.
+    retry_backoff / retry_backoff_cap:
+        Re-dispatch delay policy: the ``k``-th retry of a task waits
+        ``U(0, min(cap, backoff * 2**(k-1)))`` seconds -- exponential
+        backoff with full jitter, so a burst of failures spreads out
+        instead of hammering the surviving workers in lockstep.
+        Retries and their drawn delays are counted in the
+        ``coordinator.task_retries`` / ``coordinator.
+        retry_backoff_seconds`` obs metrics.  ``retry_backoff=0``
+        restores immediate re-dispatch.
     poll_interval:
         Transport poll granularity in seconds.
     timeout:
@@ -112,6 +122,8 @@ class Coordinator:
         num_workers: Optional[int] = None,
         *,
         max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        retry_backoff_cap: float = 2.0,
         poll_interval: float = 0.02,
         timeout: float = 600.0,
         max_inflight: int = 2,
@@ -121,9 +133,15 @@ class Coordinator:
         self._transport = make_transport(transport)
         self._num_workers = num_workers or _default_workers()
         self._max_retries = int(max_retries)
+        self._retry_backoff = float(retry_backoff)
+        self._retry_backoff_cap = float(retry_backoff_cap)
         self._poll_interval = float(poll_interval)
         self._timeout = float(timeout)
         self._obs = registry if registry is not None else _obs.get_registry()
+        self._retry_ctr = self._obs.counter("coordinator.task_retries")
+        self._backoff_hist = self._obs.histogram(
+            "coordinator.retry_backoff_seconds"
+        )
         self._transport.start(self._num_workers)
         self._dispatcher = AsyncDispatcher(
             self._transport,
@@ -158,6 +176,23 @@ class Coordinator:
     def alive_workers(self) -> List[int]:
         """Ids of workers still reachable (the dispatcher's view)."""
         return self._dispatcher.alive_workers()
+
+    def retry_delay(self, attempt: int) -> float:
+        """Draw the backoff before retry ``attempt`` (1-based).
+
+        Exponential backoff with full jitter; recorded in the
+        ``coordinator.retry_backoff_seconds`` histogram.
+        """
+        if self._retry_backoff <= 0:
+            return 0.0
+        ceiling = min(
+            self._retry_backoff_cap,
+            self._retry_backoff * (2.0 ** (max(int(attempt), 1) - 1)),
+        )
+        delay = random.uniform(0.0, ceiling)
+        if self._obs.enabled:
+            self._backoff_hist.observe(delay)
+        return delay
 
     def close(self) -> None:
         """Shut the fleet down (idempotent)."""
@@ -339,6 +374,9 @@ class Coordinator:
                 wire.get("shm_bytes", 0) + future.shm_bytes
             )
 
+        #: task index -> earliest re-dispatch time (backoff + jitter).
+        eligible_at: Dict[int, float] = {}
+
         def requeue(index: int, why: str) -> None:
             if attempts[index] > self._max_retries:
                 raise DistributedError(
@@ -346,6 +384,11 @@ class Coordinator:
                     f"{attempts[index]} attempts: {why}"
                 )
             self.retries += 1
+            if self._obs.enabled:
+                self._retry_ctr.inc()
+            eligible_at[index] = (
+                time.monotonic() + self.retry_delay(attempts[index])
+            )
             pending.append(index)
 
         while remaining:
@@ -361,9 +404,14 @@ class Coordinator:
                 raise DistributedError(
                     f"no workers left with {remaining} tasks outstanding"
                 )
-            # Dispatch.
+            # Dispatch (retried tasks wait out their backoff first).
+            now = time.monotonic()
+            deferred: List[int] = []
             while pending and idle:
                 index = pending.popleft()
+                if eligible_at.get(index, 0.0) > now:
+                    deferred.append(index)
+                    continue
                 worker_id = idle.popleft()
                 attempts[index] += 1
                 try:
@@ -374,6 +422,7 @@ class Coordinator:
                     requeue(index, str(exc))
                     continue
                 inflight[index] = (worker_id, future)
+            pending.extendleft(reversed(deferred))
             # Collect: each task's reply resolves its own future, so
             # worker death (the future fails with TransportError) and
             # stale duplicates need no task-id bookkeeping here.
@@ -408,10 +457,22 @@ class Coordinator:
                 else:
                     requeue(index, message.get("error", "worker error"))
             if not progressed and remaining:
-                self._dispatcher.wait_any(
-                    [future for _w, future in inflight.values()],
-                    timeout=self._poll_interval,
-                )
+                if inflight:
+                    self._dispatcher.wait_any(
+                        [future for _w, future in inflight.values()],
+                        timeout=self._poll_interval,
+                    )
+                else:
+                    # Everything outstanding is waiting out a backoff:
+                    # sleep until the earliest task becomes eligible.
+                    now = time.monotonic()
+                    soonest = min(
+                        (eligible_at.get(i, now) for i in pending),
+                        default=now,
+                    )
+                    time.sleep(
+                        min(max(soonest - now, 0.0), self._poll_interval)
+                    )
         return [reply for reply in results if reply is not None]
 
 
@@ -530,26 +591,64 @@ def distributed_build(
 # Streaming: distributed micro-batch ingest
 # ----------------------------------------------------------------------
 
+class _Slice:
+    """One logical shard of the distributed stream.
+
+    A slice owns its seed (``derive_seed(seed, "worker", sid)``), one
+    or two host workers, and -- depending on the recovery mode -- a
+    bounded replay log of the batches routed to it plus the latest
+    checkpointed worker state.  Losing a host loses nothing the slice
+    cannot rebuild.
+    """
+
+    __slots__ = (
+        "sid", "hosts", "batches", "items", "replay",
+        "ckpt_state", "ckpt_items", "ckpt_batches",
+    )
+
+    def __init__(self, sid: int, hosts: List[int], replay_log: int):
+        self.sid = sid
+        self.hosts = list(hosts)  # primary first
+        self.batches = 0          # batches routed to this slice
+        self.items = 0
+        self.replay: deque = deque(maxlen=max(1, int(replay_log)))
+        self.ckpt_state: Optional[dict] = None
+        self.ckpt_items = 0
+        self.ckpt_batches = 0     # batches covered by ckpt_state
+
+
 class DistributedIngest:
     """Route a micro-batch stream across workers; fold snapshots on demand.
 
-    Every worker holds one incremental summary per method (the stream
-    engine's pane machinery, seeded independently per worker via
-    :func:`~repro.stream.incremental.derive_seed`), so the per-worker
-    slices are shard-equivalent and fold with ``merge`` exactly like
-    panes do.  ``ingest`` messages are fire-and-forget for throughput;
-    :meth:`snapshot` is the barrier that collects and folds.
+    The stream is cut into per-worker *slices*: every slice holds one
+    incremental summary per method (or a full
+    :class:`~repro.stream.engine.StreamEngine` when a ``window`` spec
+    is given, so tumbling/sliding panes seal at the same event-time
+    boundaries they would in process), seeded independently via
+    :func:`~repro.stream.incremental.derive_seed` -- slices are
+    shard-equivalent and fold with ``merge`` exactly like panes do.
+    ``ingest`` messages are fire-and-forget for throughput;
+    :meth:`snapshot` is the barrier that collects and folds, in slice
+    order, so results are reproducible across transports and restarts.
 
-    Ingest is **landmark-only**: snapshots always cover everything
-    dispatched so far.  Batch timestamps are accepted (stamped sources
-    plug in unchanged, exactly as with a windowless
-    :class:`~repro.stream.engine.StreamEngine`) but carry no window
-    semantics on the workers; routing ``Window`` specs through
-    ``open_stream`` is a ROADMAP follow-on.
+    Crash recovery (``recovery=``):
 
-    A worker lost mid-stream loses its slice (estimates remain
-    unbiased over the surviving slices); the batch build path is the
-    one with full retry semantics.
+    * ``"none"`` (default) -- a lost worker loses its slice; estimates
+      stay unbiased over the survivors (the historical behavior).
+    * ``"replay"`` -- each slice keeps a bounded replay log
+      (``replay_log`` batches) on the coordinator; on worker death the
+      slice is rebuilt on a surviving worker -- from the last
+      checkpointed state plus the logged tail if :meth:`checkpoint`
+      ran (``checkpoint_interval`` automates it), else from the full
+      log -- with exponential-backoff-plus-jitter retries.  The
+      rebuilt slice is bit-identical to one that never moved.
+    * ``"replicate"`` -- slices run on two workers at once (halving
+      effective parallelism); losing the primary promotes the sibling,
+      no replay needed.  Losing both hosts loses the slice.
+
+    With a :class:`~repro.durable.CheckpointStore` attached, every
+    checkpoint is also persisted (per-slice stream keys under
+    ``stream_id``), so slice state survives the coordinator too.
     """
 
     def __init__(
@@ -563,19 +662,42 @@ class DistributedIngest:
         seed: int = 0,
         stream_id: str = "live",
         coordinator: Optional[Coordinator] = None,
+        window=None,
+        recovery: str = "none",
+        replay_log: int = 1024,
+        checkpoint_interval: Optional[int] = None,
+        store=None,
     ):
         if isinstance(methods, str):
             methods = [methods]
         self._methods = list(methods)
         if not self._methods:
             raise ValueError("need at least one method")
+        if recovery not in ("none", "replay", "replicate"):
+            raise ValueError(
+                f"unknown recovery mode {recovery!r}; "
+                "have 'none', 'replay', 'replicate'"
+            )
         self._domain = domain
         self._size = int(size)
         self._seed = int(seed)
         self._stream_id = stream_id
+        self._window = window
+        self._recovery = recovery
+        self._checkpoint_interval = (
+            int(checkpoint_interval) if checkpoint_interval else None
+        )
+        self._store = store
         self._own_coordinator = coordinator is None
         self._coordinator = coordinator or Coordinator(
             transport, num_workers
+        )
+        self._obs = self._coordinator._obs
+        self._recovered_ctr = self._obs.counter(
+            "coordinator.slices_recovered"
+        )
+        self._replayed_ctr = self._obs.counter(
+            "coordinator.batches_replayed"
         )
         self._version = 0
         self._items = 0
@@ -583,26 +705,34 @@ class DistributedIngest:
         self._round_robin = 0
         self._snap_cache: Optional[tuple] = None  # (version, {m: snaps})
         self._fold_cache: Dict[str, tuple] = {}  # method -> (ver, folded)
-        domain_spec = codec.encode_domain(domain)
+        self._domain_spec = codec.encode_domain(domain)
         workers = self._coordinator.alive_workers()
-        for worker_id in workers:
-            self._coordinator.send(worker_id, {
-                "type": "open_stream",
-                "stream": stream_id,
-                "methods": self._methods,
-                "size": self._size,
-                "seed": derive_seed(self._seed, "worker", worker_id),
-                "domain": domain_spec,
-            })
+        if recovery == "replicate":
+            self._slices = [
+                _Slice(sid, workers[2 * sid:2 * sid + 2], replay_log)
+                for sid in range((len(workers) + 1) // 2)
+            ]
+        else:
+            self._slices = [
+                _Slice(sid, [worker_id], replay_log)
+                for sid, worker_id in enumerate(workers)
+            ]
+        asked = set()
+        for sl in self._slices:
+            for worker_id in sl.hosts:
+                self._coordinator.send(
+                    worker_id, self._open_message(sl)
+                )
+                asked.add(worker_id)
         # Shrinking target: a worker dying mid-open must not stall the
         # constructor until the deadline (same pattern as _collect).
-        asked = set(workers)
         opened = self._coordinator.gather(
             lambda: len(
                 asked & set(self._coordinator.alive_workers())
             ),
             match=lambda m: (m.get("type") == "opened"
-                             and m.get("stream") == stream_id),
+                             and m.get("stream", "").startswith(
+                                 self._stream_id)),
         )
         failed = [m for m in opened if not m.get("ok")]
         if failed:
@@ -612,30 +742,184 @@ class DistributedIngest:
             )
 
     # ------------------------------------------------------------------
+    # Slice plumbing
+    # ------------------------------------------------------------------
+    def _slice_key(self, sl: _Slice) -> str:
+        return f"{self._stream_id}/s{sl.sid}"
+
+    def _window_spec(self) -> Optional[dict]:
+        if self._window is None:
+            return None
+        return {
+            "kind": self._window.kind,
+            "width": self._window.width,
+            "pane": self._window.pane,
+        }
+
+    def _open_message(self, sl: _Slice) -> dict:
+        return {
+            "type": "open_stream",
+            "stream": self._slice_key(sl),
+            "methods": self._methods,
+            "size": self._size,
+            "seed": derive_seed(self._seed, "worker", sl.sid),
+            "domain": self._domain_spec,
+            "window": self._window_spec(),
+        }
+
+    def _live_hosts(self, sl: _Slice) -> List[int]:
+        alive = set(self._coordinator.alive_workers())
+        return [h for h in sl.hosts if h in alive]
+
+    def _ensure_host(self, sl: _Slice) -> Optional[int]:
+        """A live host for the slice, recovering it if the mode allows.
+
+        Returns ``None`` when the slice is unrecoverably lost under
+        ``recovery="none"`` (the caller drops it, the historical
+        behavior); raises :class:`DistributedError` when a recovering
+        mode runs out of options.
+        """
+        hosts = self._live_hosts(sl)
+        if hosts:
+            if hosts != sl.hosts:
+                # A replica died (or the primary did, under
+                # "replicate"): promote the survivors in place.
+                sl.hosts = hosts
+            return hosts[0]
+        if self._recovery == "none":
+            return None
+        if self._recovery == "replicate":
+            raise DistributedError(
+                f"slice {sl.sid} lost both replicas"
+            )
+        return self._recover_slice(sl)
+
+    def _recover_slice(self, sl: _Slice) -> int:
+        """Rebuild a dead slice on a surviving worker (replay mode)."""
+        if sl.replay and sl.replay[0]["index"] > sl.ckpt_batches + 1:
+            raise DistributedError(
+                f"slice {sl.sid} cannot be replayed exactly: the "
+                f"replay log starts at batch {sl.replay[0]['index']} "
+                f"but the last checkpoint covers only "
+                f"{sl.ckpt_batches}; raise replay_log or lower "
+                "checkpoint_interval"
+            )
+        last_error = "no live workers"
+        max_attempts = self._coordinator._max_retries + 1
+        for attempt in range(1, max_attempts + 1):
+            host = self._pick_host(sl)
+            if host is None:
+                raise DistributedError(
+                    f"slice {sl.sid} cannot be recovered: "
+                    "no live workers left"
+                )
+            if attempt > 1:
+                time.sleep(self._coordinator.retry_delay(attempt - 1))
+            try:
+                if sl.ckpt_state is not None:
+                    message = {
+                        **self._open_message(sl),
+                        "type": "restore_stream",
+                        "state": sl.ckpt_state,
+                        "items": sl.ckpt_items,
+                    }
+                    expect = "restored"
+                else:
+                    message = self._open_message(sl)
+                    expect = "opened"
+                future = self._coordinator.submit(host, message)
+                reply = future.result(timeout=60.0)
+                if reply.get("type") != expect or not reply.get("ok"):
+                    last_error = reply.get("error", f"bad reply {reply!r}")
+                    continue
+                for entry in sl.replay:
+                    if entry["index"] <= sl.ckpt_batches:
+                        continue
+                    self._coordinator.send(
+                        host, self._ingest_message(sl, entry["batch"])
+                    )
+                    if self._obs.enabled:
+                        self._replayed_ctr.inc()
+                sl.hosts = [host]
+                if self._obs.enabled:
+                    self._recovered_ctr.inc()
+                return host
+            except (TransportError, TimeoutError) as exc:
+                last_error = str(exc)
+        raise DistributedError(
+            f"slice {sl.sid} recovery failed after {max_attempts} "
+            f"attempts: {last_error}"
+        )
+
+    def _pick_host(self, sl: _Slice) -> Optional[int]:
+        """The least-loaded live worker (fewest slices hosted)."""
+        alive = self._coordinator.alive_workers()
+        if not alive:
+            return None
+        load = {worker_id: 0 for worker_id in alive}
+        for other in self._slices:
+            for host in other.hosts:
+                if host in load and other.sid != sl.sid:
+                    load[host] += 1
+        return min(alive, key=lambda worker_id: (load[worker_id],
+                                                 worker_id))
+
+    def _ingest_message(self, sl: _Slice, batch: MicroBatch) -> dict:
+        message = {
+            "type": "ingest",
+            "stream": self._slice_key(sl),
+            "coords": batch.coords,
+            "weights": batch.weights,
+        }
+        if batch.timestamp is not None:
+            message["timestamp"] = batch.timestamp
+        if batch.timestamps is not None:
+            message["timestamps"] = batch.timestamps
+        return message
+
+    # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
     def process(self, batch) -> None:
-        """Route one micro-batch to the next worker (round-robin).
+        """Route one micro-batch to the next slice (round-robin).
 
         Accepts every batch shape :class:`~repro.stream.MicroBatch`
-        coerces; timestamps ride along for source compatibility but
-        workers keep landmark (all-time) state (see the class
-        docstring).
+        coerces.  Timestamps ride along; with a ``window`` spec the
+        worker-side engines use them for pane assignment, without one
+        the workers keep landmark (all-time) state.
         """
         batch = MicroBatch.coerce(batch)
-        workers = self._coordinator.alive_workers()
-        if not workers:
+        slices = [
+            sl for sl in self._slices
+            if self._recovery != "none" or self._live_hosts(sl)
+        ]
+        if not slices:
             raise DistributedError("no live workers to ingest into")
-        worker_id = workers[self._round_robin % len(workers)]
+        sl = slices[self._round_robin % len(slices)]
         self._round_robin += 1
-        self._coordinator.send(worker_id, {
-            "type": "ingest",
-            "stream": self._stream_id,
-            "coords": batch.coords,
-            "weights": batch.weights,
-        })
+        host = self._ensure_host(sl)
+        if host is None:  # pragma: no cover - raced death under "none"
+            raise DistributedError("no live workers to ingest into")
+        message = self._ingest_message(sl, batch)
+        targets = sl.hosts if self._recovery == "replicate" else [host]
+        for target in targets:
+            try:
+                self._coordinator.send(target, message)
+            except TransportError:
+                if target == host and self._recovery == "none":
+                    raise
+                # A replica died mid-send: the survivor carries on.
+        sl.batches += 1
+        sl.items += batch.n
+        if self._recovery == "replay":
+            sl.replay.append({"index": sl.batches, "batch": batch})
         self._items += batch.n
         self._version += 1
+        if (
+            self._checkpoint_interval
+            and self._version % self._checkpoint_interval == 0
+        ):
+            self.checkpoint()
 
     def dispatch(self, source, limit: Optional[int] = None) -> int:
         """Consume micro-batches from any iterable source.
@@ -651,46 +935,134 @@ class DistributedIngest:
         return self._items - before
 
     # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Pull every slice's live state up to the coordinator.
+
+        The checkpointed state anchors recovery (only the batches
+        after it need replaying, so the bounded replay log suffices
+        for arbitrarily long streams) and, when a durable store is
+        attached, is persisted under the slice's stream key.
+        """
+        requests: Dict[int, tuple] = {}
+        asked = set()
+        for sl in self._slices:
+            host = self._ensure_host(sl)
+            if host is None:
+                continue  # recovery="none": lost slices stay lost
+            request_id = self._next_request
+            self._next_request += 1
+            self._coordinator.send(host, {
+                "type": "checkpoint",
+                "stream": self._slice_key(sl),
+                "request_id": request_id,
+            })
+            # The state covers everything sent so far: dispatcher
+            # queues are per-worker FIFO, so the checkpoint runs after
+            # every prior ingest frame.
+            requests[request_id] = (sl, sl.batches)
+            asked.add(host)
+        replies = self._coordinator.gather(
+            lambda: len(
+                asked & set(self._coordinator.alive_workers())
+            ),
+            match=lambda m: (m.get("type") == "checkpoint_state"
+                             and m.get("request_id") in requests),
+        )
+        for reply in replies:
+            if not reply.get("ok"):
+                raise DistributedError(
+                    f"checkpoint failed: {reply.get('error')}"
+                )
+            sl, batches = requests[reply["request_id"]]
+            sl.ckpt_state = reply["state"]
+            sl.ckpt_items = int(reply.get("items", 0))
+            sl.ckpt_batches = batches
+            while sl.replay and sl.replay[0]["index"] <= batches:
+                sl.replay.popleft()
+            if self._store is not None:
+                key = self._slice_key(sl)
+                seq = self._store.append(key, "state", {
+                    "state": sl.ckpt_state,
+                    "items": sl.ckpt_items,
+                    "batches": sl.ckpt_batches,
+                })
+                self._store.truncate(key, below_seq=seq)
+
+    # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------
     def _collect(self) -> Dict[str, list]:
-        """Per-method worker snapshots at the current version (cached)."""
+        """Per-method slice snapshots at the current version (cached).
+
+        Snapshots are gathered per slice and folded in slice order, so
+        the result does not depend on reply arrival order.  A host
+        dying mid-collect is recovered (mode permitting) and re-asked;
+        under ``recovery="none"`` its slice is dropped -- the
+        historical lossy behavior.
+        """
         if (
             self._snap_cache is not None
             and self._snap_cache[0] == self._version
         ):
             return self._snap_cache[1]
-        workers = self._coordinator.alive_workers()
-        if not workers:
+        if not self._coordinator.alive_workers():
             raise DistributedError("no live workers to snapshot")
-        request_id = self._next_request
-        self._next_request += 1
-        for worker_id in workers:
-            self._coordinator.send(worker_id, {
-                "type": "snapshot",
-                "stream": self._stream_id,
-                "request_id": request_id,
-            })
-        # Workers that die mid-collect lose their slice: the reply
-        # target tracks the *live* fleet every poll round, so a death
-        # after the request went out shrinks the wait instead of
-        # stalling the collect until the deadline.
-        asked = set(workers)
-        replies = self._coordinator.gather(
-            lambda: len(
-                asked & set(self._coordinator.alive_workers())
-            ),
-            match=lambda m: (m.get("type") == "snapshots"
-                             and m.get("request_id") == request_id),
-        )
-        failed = [m for m in replies if not m.get("ok")]
-        if failed:
-            raise DistributedError(
-                f"snapshot failed: {failed[0].get('error')}"
+        by_slice: Dict[int, dict] = {}
+        todo = list(self._slices)
+        rounds = self._coordinator._max_retries + 2
+        for _round in range(rounds):
+            requests: Dict[int, _Slice] = {}
+            for sl in todo:
+                host = self._ensure_host(sl)
+                if host is None:
+                    continue  # lost under recovery="none"
+                request_id = self._next_request
+                self._next_request += 1
+                requests[request_id] = sl
+                self._coordinator.send(host, {
+                    "type": "snapshot",
+                    "stream": self._slice_key(sl),
+                    "request_id": request_id,
+                })
+            if not requests:
+                break
+            # Workers that die mid-collect shrink the reply target
+            # every poll round instead of stalling until the deadline.
+            hosts = {sl.hosts[0]: rid for rid, sl in requests.items()}
+            replies = self._coordinator.gather(
+                lambda: len(
+                    set(hosts) & set(self._coordinator.alive_workers())
+                ),
+                match=lambda m: (m.get("type") == "snapshots"
+                                 and m.get("request_id") in requests),
             )
+            failed = [m for m in replies if not m.get("ok")]
+            if failed:
+                raise DistributedError(
+                    f"snapshot failed: {failed[0].get('error')}"
+                )
+            for reply in replies:
+                sl = requests[reply["request_id"]]
+                by_slice[sl.sid] = reply["summaries"]
+            todo = [
+                sl for sl in self._slices if sl.sid not in by_slice
+            ]
+            if self._recovery == "none":
+                break  # survivors answered; lost slices stay lost
+            if not todo:
+                break
+        else:
+            raise DistributedError(
+                f"snapshot could not cover slices "
+                f"{[sl.sid for sl in todo]}"
+            )
+        if not by_slice:
+            raise DistributedError("no live workers to snapshot")
         per_method: Dict[str, list] = {name: [] for name in self._methods}
-        for reply in replies:
-            for name, frame in reply["summaries"].items():
+        for sid in sorted(by_slice):
+            for name, frame in by_slice[sid].items():
                 # Snapshot frames are immutable bytes kept alive by
                 # their views: zero-copy decode feeds the frontend's
                 # LRU snapshot cache without duplicating state arrays.

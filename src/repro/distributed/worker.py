@@ -13,10 +13,18 @@ Message protocol (all fields codec primitives):
   ``result`` with ``ok=False`` and the error text -- the coordinator
   decides whether to retry elsewhere.
 * ``open_stream`` / ``ingest`` / ``snapshot``: the streaming path.  A
-  stream holds one incremental summary per method (exactly the stream
-  engine's pane machinery); ``ingest`` absorbs a micro-batch slice
-  (fire-and-forget, no reply), ``snapshot`` freezes and ships every
-  method's summary frame upstream.
+  landmark stream holds one incremental summary per method (exactly
+  the stream engine's pane machinery); a stream opened with a
+  ``window`` spec holds a full :class:`~repro.stream.engine.
+  StreamEngine`, so tumbling/sliding panes seal at the same event-time
+  boundaries they would in process.  ``ingest`` absorbs a micro-batch
+  slice (fire-and-forget, no reply, timestamps ride along),
+  ``snapshot`` freezes and ships every method's summary frame
+  upstream.
+* ``checkpoint`` -> ``checkpoint_state``: ship the stream's *live*
+  state (serialized via :mod:`repro.durable`) so the coordinator can
+  persist it; ``restore_stream`` rebuilds a stream from that state on
+  a fresh worker -- the crash-recovery pair.
 * ``ping`` -> ``pong``: health probe.
 * ``shutdown``: clean exit.  ``exit``: abrupt exit without a reply
   (the crash-injection hook used by the retry tests).
@@ -85,6 +93,10 @@ class WorkerRuntime:
             return self._handle_ingest(message), False
         if kind == "snapshot":
             return self._handle_snapshot(message), False
+        if kind == "checkpoint":
+            return self._handle_checkpoint(message), False
+        if kind == "restore_stream":
+            return self._handle_restore_stream(message), False
         if kind == "ping":
             return {"type": "pong"}, False
         if kind == "shutdown":
@@ -127,26 +139,61 @@ class WorkerRuntime:
     # ------------------------------------------------------------------
     # Streaming ingest
     # ------------------------------------------------------------------
-    def _handle_open_stream(self, message: dict) -> dict:
-        try:
-            stream_id = message["stream"]
-            domain = codec.decode_domain(message["domain"])
-            seed = int(message["seed"])
-            incs = {
-                name: incremental_summary(
-                    name,
-                    domain,
-                    int(message["size"]),
-                    seed=derive_seed(seed, name),
-                )
-                for name in message["methods"]
-            }
-            self._streams[stream_id] = {
-                "incs": incs,
+    def _open_state(self, message: dict) -> dict:
+        """Build a stream's state dict from an open/restore message.
+
+        A ``window`` spec upgrades the stream from the flat landmark
+        incs to a full :class:`~repro.stream.engine.StreamEngine`, so
+        pane boundaries on the worker match the in-process engine's.
+        """
+        domain = codec.decode_domain(message["domain"])
+        seed = int(message["seed"])
+        stale = float(message.get("stale_fraction", 0.0))
+        window_spec = message.get("window")
+        if window_spec is not None:
+            from repro.stream.engine import StreamEngine, Window
+
+            engine = StreamEngine(
+                domain,
+                list(message["methods"]),
+                int(message["size"]),
+                window=Window(
+                    window_spec["kind"],
+                    float(window_spec["width"]),
+                    float(window_spec["pane"]),
+                ),
+                seed=seed,
+                stale_fraction=stale,
+            )
+            return {
+                "engine": engine,
+                "incs": None,
                 "domain": domain,
                 "items": 0,
                 "error": None,
             }
+        incs = {
+            name: incremental_summary(
+                name,
+                domain,
+                int(message["size"]),
+                seed=derive_seed(seed, name),
+                stale_fraction=stale,
+            )
+            for name in message["methods"]
+        }
+        return {
+            "engine": None,
+            "incs": incs,
+            "domain": domain,
+            "items": 0,
+            "error": None,
+        }
+
+    def _handle_open_stream(self, message: dict) -> dict:
+        try:
+            stream_id = message["stream"]
+            self._streams[stream_id] = self._open_state(message)
             return {"type": "opened", "stream": stream_id, "ok": True}
         except Exception:
             return {
@@ -169,9 +216,23 @@ class WorkerRuntime:
             # zero-copy decode before updating.
             coords = _writable(message["coords"])
             weights = _writable(message["weights"])
-            for inc in stream["incs"].values():
-                inc.update(coords, weights)
-            stream["items"] += int(np.asarray(weights).shape[0])
+            engine = stream["engine"]
+            if engine is not None:
+                from repro.stream.types import MicroBatch
+
+                timestamp = message.get("timestamp")
+                stamps = message.get("timestamps")
+                engine.process(MicroBatch(
+                    coords,
+                    weights,
+                    None if timestamp is None else float(timestamp),
+                    None if stamps is None else _writable(stamps),
+                ))
+                stream["items"] = engine.items_seen
+            else:
+                for inc in stream["incs"].values():
+                    inc.update(coords, weights)
+                stream["items"] += int(np.asarray(weights).shape[0])
         except Exception:
             stream["error"] = traceback.format_exc(limit=8)
         return None
@@ -197,10 +258,17 @@ class WorkerRuntime:
                 "error": f"ingest failed earlier:\n{stream['error']}",
             }
         try:
-            summaries = {
-                name: codec.to_bytes(inc.snapshot())
-                for name, inc in stream["incs"].items()
-            }
+            engine = stream["engine"]
+            if engine is not None:
+                summaries = {
+                    name: codec.to_bytes(engine.snapshot(name))
+                    for name in engine.methods
+                }
+            else:
+                summaries = {
+                    name: codec.to_bytes(inc.snapshot())
+                    for name, inc in stream["incs"].items()
+                }
             return {
                 "type": "snapshots",
                 "stream": stream_id,
@@ -214,6 +282,97 @@ class WorkerRuntime:
                 "type": "snapshots",
                 "stream": stream_id,
                 "request_id": request_id,
+                "ok": False,
+                "error": traceback.format_exc(limit=8),
+            }
+
+    # ------------------------------------------------------------------
+    # Crash recovery: checkpoint shipping + state restoration
+    # ------------------------------------------------------------------
+    def _handle_checkpoint(self, message: dict) -> dict:
+        request_id = message.get("request_id", -1)
+        stream_id = message.get("stream")
+        stream = self._streams.get(stream_id)
+        if stream is None or stream["error"] is not None:
+            error = (
+                f"unknown stream {stream_id!r}" if stream is None
+                else f"ingest failed earlier:\n{stream['error']}"
+            )
+            return {
+                "type": "checkpoint_state",
+                "stream": stream_id,
+                "request_id": request_id,
+                "ok": False,
+                "error": error,
+            }
+        try:
+            from repro.durable import encode_incremental
+
+            engine = stream["engine"]
+            if engine is not None:
+                state = {
+                    "kind": "engine",
+                    "payload": engine._checkpoint_payload(),
+                }
+            else:
+                state = {
+                    "kind": "landmark",
+                    "incs": {
+                        name: encode_incremental(inc)
+                        for name, inc in stream["incs"].items()
+                    },
+                }
+            return {
+                "type": "checkpoint_state",
+                "stream": stream_id,
+                "request_id": request_id,
+                "ok": True,
+                "state": state,
+                "items": stream["items"],
+            }
+        except Exception:
+            return {
+                "type": "checkpoint_state",
+                "stream": stream_id,
+                "request_id": request_id,
+                "ok": False,
+                "error": traceback.format_exc(limit=8),
+            }
+
+    def _handle_restore_stream(self, message: dict) -> dict:
+        """Open a stream pre-loaded with checkpointed live state."""
+        try:
+            stream_id = message["stream"]
+            entry = self._open_state(message)
+            state = message["state"]
+            if state["kind"] == "engine":
+                entry["engine"]._restore_from_payload(state["payload"])
+                entry["items"] = entry["engine"].items_seen
+            else:
+                from repro.durable import decode_incremental
+
+                domain = entry["domain"]
+                seed = int(message["seed"])
+                entry["incs"] = {
+                    name: decode_incremental(
+                        spec,
+                        name=name,
+                        domain=domain,
+                        size=int(message["size"]),
+                        seed=derive_seed(seed, name),
+                        stale_fraction=float(
+                            message.get("stale_fraction", 0.0)
+                        ),
+                    )
+                    for name, spec in state["incs"].items()
+                }
+                entry["items"] = int(message.get("items", 0))
+            self._streams[stream_id] = entry
+            return {"type": "restored", "stream": stream_id, "ok": True}
+        except Exception:
+            return {
+                "type": "restored",
+                "stream": message.get("stream"),
                 "ok": False,
                 "error": traceback.format_exc(limit=8),
             }

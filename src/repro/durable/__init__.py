@@ -1,0 +1,37 @@
+"""Durable state: checkpoint stores, crash recovery, fault injection.
+
+See ``DURABILITY.md`` in this package for the on-disk frame layout,
+the resume-state schema, the recovery state machine and the exactness
+contract.
+"""
+
+from repro.durable.state import decode_incremental, encode_incremental
+from repro.durable.store import (
+    CheckpointStore,
+    LogCheckpointStore,
+    Record,
+    SQLiteCheckpointStore,
+    open_store,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "LogCheckpointStore",
+    "SQLiteCheckpointStore",
+    "Record",
+    "open_store",
+    "encode_incremental",
+    "decode_incremental",
+    "FaultyTransport",
+]
+
+
+def __getattr__(name):
+    # FaultyTransport pulls in the transport stack; load it lazily so
+    # `repro.durable` stays importable from the stream engine without
+    # dragging the distributed tier along.
+    if name == "FaultyTransport":
+        from repro.durable.faults import FaultyTransport
+
+        return FaultyTransport
+    raise AttributeError(name)

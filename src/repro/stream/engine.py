@@ -151,6 +151,16 @@ class StreamEngine:
         aggregation: serialize them with
         :func:`repro.distributed.codec.to_bytes` and fold upstream.
         A pane that received no data seals with empty summaries.
+    store / stream_id:
+        Optional :class:`~repro.durable.CheckpointStore` making the
+        stream durable under ``stream_id``: every batch is logged
+        *before* it is processed (write-ahead), every sealed pane is
+        persisted as compressed summary frames (compacting the batch
+        log behind it), and :meth:`checkpoint` persists the full live
+        state.  :meth:`restore` rebuilds an engine from the store that
+        is bit-identical to one that never crashed -- see
+        ``src/repro/durable/DURABILITY.md`` for the exactness
+        contract.
 
     Timestamps
     ----------
@@ -175,6 +185,8 @@ class StreamEngine:
         stale_fraction: float = 0.0,
         on_pane_sealed=None,
         registry=None,
+        store=None,
+        stream_id: str = "stream",
     ):
         if isinstance(methods, str):
             methods = [methods]
@@ -204,9 +216,22 @@ class StreamEngine:
         self._seal_hist = self._obs.histogram("stream.pane_seal_seconds")
         self._seals_ctr = self._obs.counter("stream.panes_sealed")
         self._panes_gauge = self._obs.gauge("stream.panes_retained")
+        self._late_ctr = self._obs.counter("stream.late_items")
         # Fail fast on unknown names (and 1-D-only methods on 2-D
         # domains) by building pane 0's summaries eagerly.
         self._panes.append(self._new_pane(0))
+        # Durability: log the stream's configuration up front so a
+        # restore can rebuild the engine from the store alone.
+        self._store = store
+        self._stream_id = str(stream_id)
+        if store is not None:
+            if store.resume_state(self._stream_id)["next_seq"] > 0:
+                raise ValueError(
+                    f"stream {self._stream_id!r} already exists in the "
+                    "store; use StreamEngine.restore() to resume it or "
+                    "pick a fresh stream_id"
+                )
+            self._log_open()
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -217,7 +242,17 @@ class StreamEngine:
         A windowed batch carrying per-item timestamps is split at pane
         boundaries (each slice lands in its own pane); otherwise the
         batch is assigned to one pane by its batch timestamp.
+
+        With a checkpoint store attached the batch is logged *before*
+        it is processed: once this method has been entered, the batch
+        is recoverable even if the process dies mid-update.  Late
+        (out-of-order) batches are rejected before the log, so the
+        write-ahead log replays cleanly.
         """
+        batch = MicroBatch.coerce(batch)
+        if self._store is not None:
+            self._check_on_time(batch)
+            self._log_batch(batch)
         if not self._obs_enabled:
             self._process(batch)
             return
@@ -227,6 +262,42 @@ class StreamEngine:
         self._ingest_hist.observe(time.perf_counter() - started)
         self._items_ctr.inc(self._items - items_before)
         self._batches_ctr.inc()
+
+    def _check_on_time(self, batch: MicroBatch) -> None:
+        """Reject a late batch exactly as :meth:`_process` would."""
+        if self._now is None:
+            return
+        if (
+            batch.timestamps is not None
+            and self._window is not None
+            and batch.timestamps.size
+        ):
+            ts = float(batch.timestamps[0])
+        elif batch.timestamp is not None:
+            ts = float(batch.timestamp)
+        else:
+            ts = float(self._batches)
+        if ts < self._now:
+            self._reject_late(ts)
+
+    def _reject_late(self, ts: float) -> None:
+        """Raise the descriptive out-of-order error (and count it)."""
+        if self._obs_enabled:
+            self._late_ctr.inc()
+        if self._window is None:
+            where = "the landmark pane"
+        else:
+            width = self._window.pane
+            pane = int(ts // width)
+            where = (
+                f"pane {pane} [{pane * width:g}, {(pane + 1) * width:g})"
+            )
+        raise ValueError(
+            f"timestamps must be non-decreasing: batch timestamp {ts:g} "
+            f"targets {where} but the stream clock already reached "
+            f"{self._now:g}; the batch was rejected and counted in "
+            f"stream.late_items"
+        )
 
     def _process(self, batch) -> None:
         coords, weights, ts, item_ts = self._coerce(batch)
@@ -240,9 +311,7 @@ class StreamEngine:
         if ts is None:
             ts = float(self._batches)  # arrival clock: 1 unit per batch
         if self._now is not None and ts < self._now:
-            raise ValueError(
-                f"timestamps must be non-decreasing: {ts} after {self._now}"
-            )
+            self._reject_late(ts)
         self._now = ts
         pane = self._pane_for(ts)
         for inc in pane.incs.values():
@@ -265,10 +334,7 @@ class StreamEngine:
         pane-aligned batches in the first place.
         """
         if self._now is not None and float(item_ts[0]) < self._now:
-            raise ValueError(
-                f"timestamps must be non-decreasing: {float(item_ts[0])} "
-                f"after {self._now}"
-            )
+            self._reject_late(float(item_ts[0]))
         pane_index = np.floor_divide(
             item_ts, self._window.pane
         ).astype(np.int64)
@@ -328,18 +394,18 @@ class StreamEngine:
         if index == current.index:
             return current
         # Time advanced past the current pane: seal and roll forward.
-        if self._obs_enabled:
-            started = time.perf_counter()
-            with self._obs.span("stream.pane_seal", pane=current.index):
-                current.seal()
-                if self._on_pane_sealed is not None:
-                    self._on_pane_sealed(current.index, dict(current.sealed))
-            self._seal_hist.observe(time.perf_counter() - started)
-            self._seals_ctr.inc()
-        else:
-            current.seal()
-            if self._on_pane_sealed is not None:
-                self._on_pane_sealed(current.index, dict(current.sealed))
+        # A pane restored from the store arrives already sealed (and
+        # already persisted / shipped): only the roll bookkeeping runs
+        # for it, never a second seal.
+        if current.sealed is None:
+            if self._obs_enabled:
+                started = time.perf_counter()
+                with self._obs.span("stream.pane_seal", pane=current.index):
+                    self._seal_current(current)
+                self._seal_hist.observe(time.perf_counter() - started)
+                self._seals_ctr.inc()
+            else:
+                self._seal_current(current)
         if self._window.kind == "tumbling":
             # Pane == window for tumbling: the sealed pane IS the
             # completed window -- but only when no empty windows
@@ -355,6 +421,14 @@ class StreamEngine:
             self._panes_gauge.set(len(self._panes))
         return pane
 
+    def _seal_current(self, current: _Pane) -> None:
+        """Seal one pane: freeze, fire the hand-off hook, persist."""
+        current.seal()
+        if self._on_pane_sealed is not None:
+            self._on_pane_sealed(current.index, dict(current.sealed))
+        if self._store is not None:
+            self._persist_seal(current)
+
     def _prune(self, now: float) -> None:
         """Drop panes no query over the current window can touch."""
         if self._window is None:
@@ -367,6 +441,299 @@ class StreamEngine:
         # Cap retention at a full window of panes plus the live one.
         max_panes = self._window.panes_per_window + 1
         self._panes = keep[-max_panes:]
+
+    # ------------------------------------------------------------------
+    # Durability: write-ahead batch log, pane persistence, checkpoints
+    # ------------------------------------------------------------------
+    def _log_open(self) -> None:
+        from repro.distributed import codec
+
+        window = None
+        if self._window is not None:
+            window = {
+                "kind": self._window.kind,
+                "width": self._window.width,
+                "pane": self._window.pane,
+            }
+        self._store.append(self._stream_id, "open", {
+            "methods": list(self._methods),
+            "size": self._size,
+            "seed": self._seed,
+            "stale_fraction": self._stale_fraction,
+            "window": window,
+            "domain": codec.encode_domain(self._domain),
+        })
+
+    def _log_batch(self, batch: MicroBatch) -> None:
+        """Write-ahead: the batch plus the pre-ingest counter state.
+
+        The counters make replay exact even after seal-time compaction
+        dropped earlier batch records: the first surviving batch's
+        pre-state re-anchors the clocks (see ``DURABILITY.md``).  The
+        record's ``pane`` is the batch's *last* destination pane, so a
+        boundary-straddling batch outlives the seal of the pane it
+        started in.
+        """
+        if self._window is None:
+            pane = 0
+        elif batch.timestamps is not None and batch.timestamps.size:
+            pane = int(float(batch.timestamps[-1]) // self._window.pane)
+        elif batch.timestamp is not None:
+            pane = int(float(batch.timestamp) // self._window.pane)
+        else:
+            pane = int(float(self._batches) // self._window.pane)
+        self._store.append(self._stream_id, "batch", {
+            "coords": batch.coords,
+            "weights": batch.weights,
+            "timestamp": batch.timestamp,
+            "timestamps": batch.timestamps,
+            "items": self._items,
+            "batches": self._batches,
+            "now": self._now,
+        }, pane=pane, compress=False)
+
+    def _persist_seal(self, pane: _Pane) -> None:
+        """Persist a sealed pane's frames; compact the log behind it.
+
+        Batches destined to this pane (or earlier ones) are embedded
+        in the frozen summaries, so their replay records die here --
+        this is what keeps the write-ahead log bounded on windowed
+        streams.  Seal records behind the query horizon (a full window
+        of panes plus one) die with them.
+        """
+        from repro.distributed import codec
+
+        self._store.append(self._stream_id, "seal", {
+            "start": pane.start,
+            "end": pane.end,
+            "summaries": {
+                name: codec.to_bytes(summary)
+                for name, summary in pane.sealed.items()
+            },
+        }, pane=pane.index)
+        self._store.prune(self._stream_id, "batch", max_pane=pane.index)
+        keep = self._window.panes_per_window + 1
+        self._store.prune(
+            self._stream_id, "seal", max_pane=pane.index - keep
+        )
+
+    def checkpoint(self) -> int:
+        """Persist the full live state; truncate the log behind it.
+
+        Returns the checkpoint's sequence number.  On landmark streams
+        this is the *only* thing that bounds the write-ahead log (no
+        pane ever seals), so long-lived landmark streams should call
+        it periodically.
+        """
+        if self._store is None:
+            raise ValueError("engine has no checkpoint store attached")
+        seq = self._store.append(
+            self._stream_id, "state", self._checkpoint_payload(),
+            pane=self._panes[-1].index,
+        )
+        self._store.truncate(self._stream_id, below_seq=seq)
+        self._store.sync()
+        return seq
+
+    def _checkpoint_payload(self) -> dict:
+        from repro.distributed import codec
+        from repro.durable import encode_incremental
+
+        def sealed_entry(pane: _Pane) -> dict:
+            return {
+                "index": pane.index,
+                "start": pane.start,
+                "end": pane.end,
+                "sealed": {
+                    name: codec.to_bytes(summary)
+                    for name, summary in pane.sealed.items()
+                },
+            }
+
+        panes = []
+        for pane in self._panes:
+            if pane.sealed is not None:
+                panes.append(sealed_entry(pane))
+            else:
+                panes.append({
+                    "index": pane.index,
+                    "start": pane.start,
+                    "end": pane.end,
+                    "incs": {
+                        name: encode_incremental(inc)
+                        for name, inc in pane.incs.items()
+                    },
+                })
+        last = None
+        if self._last_completed is not None:
+            (pane,) = self._last_completed
+            last = sealed_entry(pane)
+        return {
+            "panes": panes,
+            "last_completed": last,
+            "items": self._items,
+            "batches": self._batches,
+            "now": self._now,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        store,
+        stream_id: str = "stream",
+        *,
+        on_pane_sealed=None,
+        registry=None,
+    ) -> "StreamEngine":
+        """Rebuild an engine from its checkpoint store.
+
+        The restored engine is bit-identical to one that never
+        crashed: base state comes from the latest checkpoint (if any),
+        sealed panes from their persisted frames, and everything after
+        the last seal is replayed from the write-ahead batch log --
+        including the update that was in flight when the process died.
+        """
+        records = store.records(stream_id)
+        config = next((r for r in records if r.kind == "open"), None)
+        if config is None:
+            raise ValueError(
+                f"stream {stream_id!r} has no open record in the store"
+            )
+        from repro.distributed import codec
+
+        cfg = config.payload
+        window = None
+        if cfg["window"] is not None:
+            spec = cfg["window"]
+            window = Window(
+                spec["kind"], float(spec["width"]), float(spec["pane"])
+            )
+        engine = cls(
+            codec.decode_domain(cfg["domain"]),
+            list(cfg["methods"]),
+            int(cfg["size"]),
+            window=window,
+            seed=int(cfg["seed"]),
+            stale_fraction=float(cfg["stale_fraction"]),
+            on_pane_sealed=on_pane_sealed,
+            registry=registry,
+        )
+        # Attach the store *after* construction: the open record is
+        # already on disk and must not be duplicated.
+        engine._store = store
+        engine._stream_id = stream_id
+        state = None
+        for record in records:
+            if record.kind == "state":
+                state = record
+        base_seq = state.seq if state is not None else -1
+        if state is not None:
+            engine._restore_from_payload(state.payload)
+        floor = -1
+        for record in records:
+            if record.kind == "seal" and record.seq > base_seq:
+                engine._apply_seal_record(record)
+                floor = max(floor, record.pane)
+        live = [
+            r for r in records
+            if r.kind == "batch" and r.seq > base_seq and r.pane > floor
+        ]
+        if live:
+            # Re-anchor the clocks at the first surviving batch's
+            # pre-state, then replay: each replayed batch re-applies
+            # its own counter effects exactly as the first run did.
+            first = live[0].payload
+            engine._items = int(first["items"])
+            engine._batches = int(first["batches"])
+            engine._now = (
+                None if first["now"] is None else float(first["now"])
+            )
+            for record in live:
+                engine._replay_batch(record.payload)
+        return engine
+
+    def _restore_from_payload(self, payload: dict) -> None:
+        """Load a checkpoint's panes, clocks and last-window marker."""
+        from repro.distributed import codec
+        from repro.durable import decode_incremental
+
+        def sealed_pane(entry: dict) -> _Pane:
+            pane = _Pane(
+                int(entry["index"]), float(entry["start"]),
+                float(entry["end"]), {},
+            )
+            pane.sealed = {
+                name: codec.from_bytes(frame)
+                for name, frame in entry["sealed"].items()
+            }
+            return pane
+
+        panes = []
+        for entry in payload["panes"]:
+            if "sealed" in entry:
+                panes.append(sealed_pane(entry))
+                continue
+            index = int(entry["index"])
+            pane = _Pane(
+                index, float(entry["start"]), float(entry["end"]),
+                {
+                    name: decode_incremental(
+                        spec,
+                        name=name,
+                        domain=self._domain,
+                        size=self._size,
+                        seed=derive_seed(self._seed, name, index),
+                        stale_fraction=self._stale_fraction,
+                    )
+                    for name, spec in entry["incs"].items()
+                },
+            )
+            panes.append(pane)
+        self._panes = sorted(panes, key=lambda p: p.index)
+        last = payload["last_completed"]
+        self._last_completed = None if last is None else [sealed_pane(last)]
+        self._items = int(payload["items"])
+        self._batches = int(payload["batches"])
+        self._now = (
+            None if payload["now"] is None else float(payload["now"])
+        )
+        self._fold_cache = {}
+
+    def _apply_seal_record(self, record) -> None:
+        """Merge one persisted sealed pane over the restored pane set."""
+        from repro.distributed import codec
+
+        pane = _Pane(
+            int(record.pane), float(record.payload["start"]),
+            float(record.payload["end"]), {},
+        )
+        pane.sealed = {
+            name: codec.from_bytes(frame)
+            for name, frame in record.payload["summaries"].items()
+        }
+        others = [p for p in self._panes if p.index != pane.index]
+        self._panes = sorted(others + [pane], key=lambda p: p.index)
+
+    def _replay_batch(self, payload: dict) -> None:
+        """Re-process one logged batch (no re-logging, no obs timing)."""
+        timestamps = payload["timestamps"]
+        self._process(MicroBatch(
+            np.asarray(payload["coords"]),
+            np.asarray(payload["weights"]),
+            None if payload["timestamp"] is None
+            else float(payload["timestamp"]),
+            None if timestamps is None else np.asarray(timestamps),
+        ))
+
+    @property
+    def store(self):
+        """The attached checkpoint store (``None`` if not durable)."""
+        return self._store
+
+    @property
+    def stream_id(self) -> str:
+        """The stream's identity inside the checkpoint store."""
+        return self._stream_id
 
     # ------------------------------------------------------------------
     # Live queries

@@ -1,0 +1,207 @@
+"""Checkpoint store backends: framing, resume state, torn-tail recovery.
+
+Both backends (append-only log, WAL-mode SQLite) must present the same
+contract: monotone per-stream sequence numbers, bit-exact payload
+round-trips (ndarrays included), resume-state bookkeeping, and
+compaction primitives (``truncate`` / ``prune``).  The log backend
+additionally survives a torn tail -- a partial final record from a
+crash mid-write is dropped, everything before it is kept.
+"""
+
+import os
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.durable import (
+    LogCheckpointStore,
+    SQLiteCheckpointStore,
+    open_store,
+)
+
+BACKENDS = ["log", "sqlite"]
+
+
+def make_store(backend, tmp_path, name="ck"):
+    if backend == "log":
+        return LogCheckpointStore(str(tmp_path / name))
+    return SQLiteCheckpointStore(str(tmp_path / f"{name}.sqlite"))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestStoreContract:
+    def test_append_records_round_trip(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        arr = np.arange(37, dtype=np.float64) * 1.5
+        payloads = [
+            {"a": 1, "b": "text"},
+            {"arr": arr, "nested": {"x": None}},
+            {"blob": b"\x00\xffraw"},
+        ]
+        seqs = [
+            store.append("s", "batch", payload, pane=i)
+            for i, payload in enumerate(payloads)
+        ]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 3
+        records = store.records("s")
+        assert [r.kind for r in records] == ["batch"] * 3
+        assert [r.pane for r in records] == [0, 1, 2]
+        got = records[1].payload["arr"]
+        np.testing.assert_array_equal(np.asarray(got), arr)
+        assert np.asarray(got).dtype == arr.dtype
+        assert bytes(records[2].payload["blob"]) == b"\x00\xffraw"
+        store.close()
+
+    def test_min_seq_filter_and_streams(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.append("a", "open", {"v": 0})
+        s1 = store.append("a", "batch", {"v": 1})
+        store.append("b", "open", {"v": 2})
+        assert sorted(store.streams()) == ["a", "b"]
+        tail = store.records("a", min_seq=s1)
+        assert [r.payload["v"] for r in tail] == [1]
+        assert store.records("missing") == []
+        store.close()
+
+    def test_resume_state(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        blank = store.resume_state("s")
+        assert blank["next_seq"] == 0
+        assert blank["last_sealed_pane"] == -1
+        assert blank["checkpoints"] == 0
+        store.append("s", "open", {})
+        store.append("s", "batch", {}, pane=0)
+        store.append("s", "seal", {}, pane=0)
+        ck = store.append("s", "state", {})
+        store.append("s", "seal", {}, pane=3)
+        state = store.resume_state("s")
+        assert state["next_seq"] == 5
+        assert state["last_sealed_pane"] == 3
+        assert state["checkpoint_seq"] == ck
+        assert state["checkpoints"] == 1
+        store.close()
+
+    def test_truncate_keeps_open(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.append("s", "open", {"config": True})
+        for i in range(4):
+            store.append("s", "batch", {"i": i}, pane=0)
+        last = store.append("s", "state", {"snap": 1})
+        store.truncate("s", below_seq=last)
+        kinds = [r.kind for r in store.records("s")]
+        assert kinds == ["open", "state"]
+        store.close()
+
+    def test_prune_by_kind_and_pane(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.append("s", "open", {})
+        for pane in range(5):
+            store.append("s", "batch", {"pane": pane}, pane=pane)
+            store.append("s", "seal", {"pane": pane}, pane=pane)
+        store.prune("s", "batch", max_pane=2)
+        batches = [r.pane for r in store.records("s") if r.kind == "batch"]
+        assert batches == [3, 4]
+        seals = [r.pane for r in store.records("s") if r.kind == "seal"]
+        assert seals == [0, 1, 2, 3, 4]  # untouched
+        store.prune("s", "seal", max_pane=1)
+        seals = [r.pane for r in store.records("s") if r.kind == "seal"]
+        assert seals == [2, 3, 4]
+        store.close()
+
+    def test_seq_survives_compaction(self, backend, tmp_path):
+        # Sequence numbers keep growing after truncate/prune: recovery
+        # replay order must never be ambiguous.
+        store = make_store(backend, tmp_path)
+        store.append("s", "open", {})
+        for i in range(3):
+            store.append("s", "batch", {"i": i}, pane=0)
+        high = store.append("s", "state", {})
+        store.truncate("s", below_seq=high)
+        nxt = store.append("s", "batch", {"i": 99}, pane=1)
+        assert nxt > high
+        store.close()
+
+    def test_reopen_persists(self, backend, tmp_path):
+        store = make_store(backend, tmp_path)
+        store.append("s", "open", {"cfg": 7})
+        store.append("s", "batch", {"i": 0}, pane=0)
+        store.sync()
+        store.close()
+        store2 = make_store(backend, tmp_path)
+        records = store2.records("s")
+        assert [r.kind for r in records] == ["open", "batch"]
+        assert records[0].payload["cfg"] == 7
+        # appends continue from the persisted sequence
+        seq = store2.append("s", "batch", {"i": 1}, pane=0)
+        assert seq == records[-1].seq + 1
+        store2.close()
+
+    def test_context_manager(self, backend, tmp_path):
+        with make_store(backend, tmp_path) as store:
+            store.append("s", "open", {})
+        store2 = make_store(backend, tmp_path)
+        assert [r.kind for r in store2.records("s")] == ["open"]
+        store2.close()
+
+
+class TestLogTornTail:
+    def _log_file(self, directory):
+        names = [n for n in os.listdir(directory) if n.endswith(".rdur")]
+        assert len(names) == 1
+        return os.path.join(directory, names[0])
+
+    def test_partial_final_record_dropped(self, tmp_path):
+        store = LogCheckpointStore(str(tmp_path / "ck"))
+        store.append("s", "open", {"cfg": 1})
+        store.append("s", "batch", {"i": 0}, pane=0)
+        store.append("s", "batch", {"i": 1}, pane=0)
+        store.close()
+        path = self._log_file(str(tmp_path / "ck"))
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:  # crash mid-write: lose 3 bytes
+            fh.truncate(size - 3)
+        store2 = LogCheckpointStore(str(tmp_path / "ck"))
+        records = store2.records("s")
+        assert [r.payload.get("i") for r in records] == [None, 0]
+        # the store stays writable and seqs continue past the lost one
+        seq = store2.append("s", "batch", {"i": 2}, pane=0)
+        assert seq == records[-1].seq + 1
+        store2.close()
+
+    def test_corrupt_crc_truncates_from_there(self, tmp_path):
+        store = LogCheckpointStore(str(tmp_path / "ck"))
+        store.append("s", "open", {})
+        good = store.append("s", "batch", {"i": 0}, pane=0)
+        store.append("s", "batch", {"i": 1}, pane=0)
+        store.close()
+        path = self._log_file(str(tmp_path / "ck"))
+        with open(path, "r+b") as fh:  # flip one bit in the last body
+            fh.seek(-1, os.SEEK_END)
+            last = fh.read(1)
+            fh.seek(-1, os.SEEK_END)
+            fh.write(bytes([last[0] ^ 0x01]))
+        store2 = LogCheckpointStore(str(tmp_path / "ck"))
+        assert [r.seq for r in store2.records("s")][-1] == good
+        store2.close()
+
+
+class TestOpenStore:
+    def test_specs(self, tmp_path):
+        log = open_store(f"log:{tmp_path / 'logs'}")
+        assert isinstance(log, LogCheckpointStore)
+        log.close()
+        sq = open_store(f"sqlite:{tmp_path / 'ck.db'}")
+        assert isinstance(sq, SQLiteCheckpointStore)
+        sq.close()
+        by_suffix = open_store(str(tmp_path / "auto.sqlite"))
+        assert isinstance(by_suffix, SQLiteCheckpointStore)
+        by_suffix.close()
+        as_dir = open_store(str(tmp_path / "plain_dir"))
+        assert isinstance(as_dir, LogCheckpointStore)
+        as_dir.close()
+
+    def test_passthrough(self, tmp_path):
+        store = LogCheckpointStore(str(tmp_path / "ck"))
+        assert open_store(store) is store
+        store.close()
