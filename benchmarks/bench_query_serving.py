@@ -143,6 +143,67 @@ def test_query_serving(results_dir):
                 f"{method} batched speedup {speedup:.1f}x < 5x",
             )
 
+    # ------------------------------------------------------------------
+    # Interval-table store: flat kernel vs retained pointer path vs
+    # SQLite pushdown, all three bit-identical on the same battery.
+    # `serve:qdigest-stream` above already records the (default) flat
+    # path; the two extra records pin the retained baseline and the
+    # out-of-core backend so check_regression gates all of them.
+    # ------------------------------------------------------------------
+    lines.append("== Interval store: flat vs retained vs pushdown ==")
+    digest = summaries["qdigest-stream"]
+    flat_ans, flat_repeat = _timed(lambda: digest.query_many(queries))
+    digest.flat_kernel = False
+    start = time.perf_counter()
+    retained_cold_ans = digest.query_many(queries)
+    retained_cold = time.perf_counter() - start
+    retained_ans, retained_repeat = _timed(
+        lambda: digest.query_many(queries)
+    )
+    digest.flat_kernel = True
+    assert flat_ans == retained_ans, "flat kernel diverged (bitwise)"
+    assert retained_cold_ans == retained_ans
+    digest.pushdown_budget = 0  # force the on-disk path
+    start = time.perf_counter()
+    push_cold_ans = digest.query_many(queries)
+    push_cold = time.perf_counter() - start
+    push_ans, push_repeat = _timed(lambda: digest.query_many(queries))
+    del digest.pushdown_budget
+    assert push_ans == retained_ans, "pushdown diverged (bitwise)"
+    assert push_cold_ans == retained_ans
+    interval_speedup = retained_repeat / max(flat_repeat, 1e-12)
+    records.append({
+        "kernel": "serve:qdigest-stream:retained",
+        "n": N_QUERIES,
+        "summary_size": SIZE,
+        "domain_bits": DOMAIN_BITS,
+        "repeats": REPEATS,
+        "wall_time_s": retained_repeat,
+        "uncached_wall_time_s": retained_cold,
+        "speedup": interval_speedup,
+        "throughput_per_s": REPEATS * N_QUERIES / max(retained_repeat,
+                                                      1e-12),
+    })
+    records.append({
+        "kernel": "pushdown:qdigest-stream",
+        "n": N_QUERIES,
+        "summary_size": SIZE,
+        "domain_bits": DOMAIN_BITS,
+        "repeats": REPEATS,
+        "wall_time_s": push_repeat,
+        "uncached_wall_time_s": push_cold,
+        "throughput_per_s": REPEATS * N_QUERIES / max(push_repeat, 1e-12),
+    })
+    lines.append(
+        f"interval:qdigest-stream retained {retained_repeat:8.4f}s -> "
+        f"flat {flat_repeat:7.4f}s ({interval_speedup:.1f}x), "
+        f"pushdown {push_repeat:7.4f}s"
+    )
+    perf_assert(
+        interval_speedup >= 5.0,
+        f"flat interval kernel {interval_speedup:.1f}x < 5x over retained",
+    )
+
     lines.append("== Frontend: one-at-a-time vs micro-batched ==")
     for method in GATED:
         supplier = _StaticSupplier(summaries)

@@ -1,0 +1,15 @@
+"""Out-of-core query backends.
+
+:mod:`repro.backends.pushdown` persists flat interval tables
+(:class:`repro.structures.intervals.IntervalTable`) into SQLite and
+answers range-sum batteries with window-function SQL, bit-identical to
+the in-memory kernels.  Summaries spill to it automatically when their
+interval table exceeds the configurable RAM budget.
+"""
+
+from repro.backends.pushdown import (  # noqa: F401
+    PushdownStore,
+    SpilledTable,
+    ram_budget,
+    set_ram_budget,
+)

@@ -1,0 +1,469 @@
+"""SQLite pushdown backend for flat interval tables.
+
+Persists :class:`~repro.structures.intervals.IntervalTable` columns
+into a WAL-mode SQLite database (the same connection conventions as
+``repro.durable``'s checkpoint store) and answers the same range-sum
+batteries the in-memory kernels serve -- **bit-identically**.  This is
+the out-of-core tier: when a summary's interval table exceeds the
+configurable RAM budget (:func:`ram_budget`), ``query_many`` spills
+the table here and pushes each battery down as SQL instead of holding
+the columns resident.
+
+The correctness contract is exact, not approximate, and rests on two
+facts:
+
+* every *derived integer* (contained cell runs, straddle candidates)
+  is computed in NumPy with the identical expressions the in-memory
+  scan uses, then shipped to SQLite as probe rows -- the SQL never
+  does arithmetic whose rounding or division semantics could diverge;
+* every *float* stored (per-level inclusive prefix sums ``cum``,
+  masses) comes from the same ``np.cumsum`` the in-memory prefix uses,
+  and SQLite ``REAL`` round-trips IEEE doubles losslessly, so the
+  prefix differences subtract the very same doubles.
+
+The one window function involved carries prefix values to probe
+positions::
+
+    MAX(cum) OVER (PARTITION BY level ORDER BY val, side
+                   ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW)
+
+over interval rows (``side 0``, real ``cum``) unioned with probe rows
+(``side ±1``, ``cum NULL``): because ``cum`` increases with ``cell``
+inside a level, the running ``MAX`` at a probe is exactly the prefix
+value at the probe's rank -- ``side -1`` excludes the probe's own cell
+(cells strictly below ``a``), ``side +1`` includes it (cells at most
+``b``).  Straddling cells resolve with a plain equality join.  Full
+derivation and the schema live in ``structures/INTERVALS.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+import threading
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.structures.intervals import IntervalTable
+
+#: Default RAM budget (bytes) above which summaries spill their
+#: interval tables to a :class:`PushdownStore`.  Overridable via the
+#: ``REPRO_PUSHDOWN_BUDGET`` environment variable or
+#: :func:`set_ram_budget`; summaries may also carry a per-instance
+#: ``pushdown_budget`` attribute.
+_DEFAULT_BUDGET = 256 * 1024 * 1024
+_budget_override: Optional[int] = None
+
+
+def ram_budget() -> int:
+    """The effective module-wide RAM budget in bytes."""
+    if _budget_override is not None:
+        return _budget_override
+    raw = os.environ.get("REPRO_PUSHDOWN_BUDGET")
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return _DEFAULT_BUDGET
+
+
+def set_ram_budget(budget: Optional[int]) -> None:
+    """Override the module-wide RAM budget (``None`` restores env)."""
+    global _budget_override
+    _budget_override = None if budget is None else int(budget)
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS tables (
+    table_id TEXT PRIMARY KEY,
+    kind     TEXT    NOT NULL,
+    height   INTEGER NOT NULL,
+    rows     INTEGER NOT NULL,
+    total    REAL    NOT NULL
+);
+CREATE TABLE IF NOT EXISTS levels (
+    table_id TEXT    NOT NULL,
+    level    INTEGER NOT NULL,
+    span     INTEGER NOT NULL,
+    n        INTEGER NOT NULL,
+    PRIMARY KEY (table_id, level)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS intervals (
+    table_id TEXT    NOT NULL,
+    level    INTEGER NOT NULL,
+    cell     INTEGER NOT NULL,
+    lo       INTEGER NOT NULL,
+    hi       INTEGER NOT NULL,
+    pre      INTEGER NOT NULL,
+    post     INTEGER NOT NULL,
+    mass     REAL    NOT NULL,
+    cum      REAL    NOT NULL,
+    PRIMARY KEY (table_id, level, cell)
+) WITHOUT ROWID;
+"""
+
+
+class PushdownStore:
+    """Interval tables on disk, queried with window-function SQL.
+
+    Connection conventions mirror ``repro.durable``'s SQLite backend:
+    WAL journal, ``synchronous=NORMAL``, a busy timeout, one
+    connection guarded by a lock (``check_same_thread=False`` so any
+    thread may serve queries).
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._lock = threading.Lock()
+        cur = self._conn.cursor()
+        cur.execute("PRAGMA journal_mode=WAL")
+        cur.execute("PRAGMA synchronous=NORMAL")
+        cur.execute("PRAGMA foreign_keys=ON")
+        cur.execute("PRAGMA busy_timeout=30000")
+        cur.executescript(_SCHEMA)
+        self._conn.commit()
+
+    @classmethod
+    def temp(cls) -> "PushdownStore":
+        """A store on a fresh temporary file, removed on collection."""
+        fd, path = tempfile.mkstemp(prefix="repro-pushdown-",
+                                    suffix=".sqlite")
+        os.close(fd)
+        store = cls(path)
+        weakref.finalize(store, _cleanup_temp, path)
+        return store
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def put(self, table_id: str, table: IntervalTable) -> None:
+        """Persist ``table`` under ``table_id`` (replacing any prior).
+
+        Only scannable tables (1-D, uniform span per level) push down;
+        rows are stored with their level-local cell index and the
+        *inclusive* per-level prefix ``cum`` -- the same doubles as the
+        in-memory prefix, written once at put time.
+        """
+        if not table.scannable():
+            raise ValueError(
+                "pushdown requires a 1-D uniform-span interval table"
+            )
+        lo = table.lo[:, 0]
+        hi = table.hi[:, 0]
+        spans = table.level_spans
+        starts = table.level_starts
+        level_rows = []
+        interval_rows = []
+        for j in range(table.level_values.shape[0]):
+            s, e = int(starts[j]), int(starts[j + 1])
+            span = int(spans[j])
+            cells = lo[s:e] // span
+            cum = np.cumsum(table.mass[s:e])
+            lvl = int(table.level_values[j])
+            level_rows.append((table_id, lvl, span, e - s))
+            interval_rows.extend(
+                zip(
+                    [table_id] * (e - s),
+                    [lvl] * (e - s),
+                    cells.tolist(),
+                    lo[s:e].tolist(),
+                    hi[s:e].tolist(),
+                    table.pre[s:e].tolist(),
+                    table.post[s:e].tolist(),
+                    table.mass[s:e].tolist(),
+                    cum.tolist(),
+                )
+            )
+        with self._lock:
+            cur = self._conn.cursor()
+            cur.execute("BEGIN IMMEDIATE")
+            try:
+                cur.execute("DELETE FROM tables WHERE table_id=?",
+                            (table_id,))
+                cur.execute("DELETE FROM levels WHERE table_id=?",
+                            (table_id,))
+                cur.execute("DELETE FROM intervals WHERE table_id=?",
+                            (table_id,))
+                cur.execute(
+                    "INSERT INTO tables VALUES (?,?,?,?,?)",
+                    (table_id, table.kind, table.height, len(table),
+                     table.total),
+                )
+                cur.executemany(
+                    "INSERT INTO levels VALUES (?,?,?,?)", level_rows
+                )
+                cur.executemany(
+                    "INSERT INTO intervals VALUES (?,?,?,?,?,?,?,?,?)",
+                    interval_rows,
+                )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+
+    def get(self, table_id: str) -> IntervalTable:
+        """Rebuild the stored table, bit-exact."""
+        with self._lock:
+            cur = self._conn.cursor()
+            meta = cur.execute(
+                "SELECT kind, height FROM tables WHERE table_id=?",
+                (table_id,),
+            ).fetchone()
+            if meta is None:
+                raise KeyError(table_id)
+            rows = cur.execute(
+                "SELECT level, lo, hi, pre, post, mass FROM intervals"
+                " WHERE table_id=? ORDER BY level, cell",
+                (table_id,),
+            ).fetchall()
+        cols = (
+            list(zip(*rows)) if rows
+            else [[], [], [], [], [], []]
+        )
+        return IntervalTable(
+            np.asarray(cols[0], dtype=np.int64),
+            np.asarray(cols[1], dtype=np.int64),
+            np.asarray(cols[2], dtype=np.int64),
+            np.asarray(cols[5], dtype=float),
+            pre=np.asarray(cols[3], dtype=np.int64),
+            post=np.asarray(cols[4], dtype=np.int64),
+            kind=str(meta[0]),
+            height=int(meta[1]),
+        )
+
+    def table_ids(self) -> List[str]:
+        """Stored table ids, sorted."""
+        with self._lock:
+            cur = self._conn.execute(
+                "SELECT table_id FROM tables ORDER BY table_id"
+            )
+            return [row[0] for row in cur.fetchall()]
+
+    def delete(self, table_id: str) -> None:
+        """Drop a stored table (no error if absent)."""
+        with self._lock:
+            cur = self._conn.cursor()
+            cur.execute("BEGIN IMMEDIATE")
+            try:
+                for tbl in ("tables", "levels", "intervals"):
+                    cur.execute(
+                        f"DELETE FROM {tbl} WHERE table_id=?", (table_id,)
+                    )
+                self._conn.commit()
+            except BaseException:
+                self._conn.rollback()
+                raise
+
+    def handle(self, table_id: str) -> "SpilledTable":
+        """A query handle bound to one stored table."""
+        return SpilledTable(self, table_id)
+
+    # ------------------------------------------------------------------
+    # Query pushdown
+    # ------------------------------------------------------------------
+    def _level_meta(self, table_id: str) -> List[Tuple[int, int]]:
+        with self._lock:
+            cur = self._conn.execute(
+                "SELECT level, span FROM levels WHERE table_id=?"
+                " ORDER BY level",
+                (table_id,),
+            )
+            return [(int(l), int(s)) for l, s in cur.fetchall()]
+
+    def range_sums(
+        self,
+        table_id: str,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        levels: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Battery range sums pushed down to SQL (see module docstring).
+
+        Bit-identical to ``IntervalTable.scan_bounds`` on the same
+        table: identical NumPy-derived probe integers, identical
+        stored doubles, identical per-level fold order (level
+        ascending; contained run, then the lo-side straddler, then the
+        hi-side straddler).
+        """
+        lo = np.asarray(lo, dtype=np.int64)
+        hi = np.asarray(hi, dtype=np.int64)
+        q = lo.shape[0]
+        meta = self._level_meta(table_id)
+        if levels is not None:
+            wanted = set(int(v) for v in levels)
+            have = {lvl for lvl, _ in meta}
+            missing = wanted - have
+            if missing:
+                raise ValueError(f"levels {sorted(missing)} not in table")
+            meta = [(lvl, s) for lvl, s in meta if lvl in wanted]
+        if q == 0 or not meta:
+            return np.zeros(q, dtype=float)
+
+        # All derived integers computed here, in NumPy, with the exact
+        # in-memory expressions; SQL only carries prefix values and
+        # resolves straddle-cell existence.
+        probe_rows = []
+        cand_rows = []
+        cands: Dict[Tuple[int, int], np.ndarray] = {}
+        for lvl, s in meta:
+            a = (lo + s - 1) // s
+            b = (hi + 1) // s - 1
+            c_lo = lo // s
+            c_hi = hi // s
+            probe_rows.extend(
+                (lvl, val, -1, qid) for qid, val in enumerate(a.tolist())
+            )
+            probe_rows.extend(
+                (lvl, val, 1, qid) for qid, val in enumerate(b.tolist())
+            )
+            lo_cand = np.where(
+                (lo % s != 0) | (a > b), c_lo, np.int64(-1)
+            )
+            hi_cand = np.where(
+                ((hi + 1) % s != 0) & (c_hi != c_lo), c_hi, np.int64(-1)
+            )
+            cands[(lvl, 0)] = lo_cand
+            cands[(lvl, 1)] = hi_cand
+            for kind, cand in ((0, lo_cand), (1, hi_cand)):
+                rows = np.flatnonzero(cand >= 0)
+                cand_rows.extend(
+                    zip([lvl] * rows.size, cand[rows].tolist(),
+                        [kind] * rows.size, rows.tolist())
+                )
+
+        with self._lock:
+            cur = self._conn.cursor()
+            cur.execute(
+                "CREATE TEMP TABLE IF NOT EXISTS probes"
+                " (level INTEGER, val INTEGER, side INTEGER,"
+                "  qid INTEGER)"
+            )
+            cur.execute(
+                "CREATE TEMP TABLE IF NOT EXISTS cands"
+                " (level INTEGER, cell INTEGER, kind INTEGER,"
+                "  qid INTEGER)"
+            )
+            cur.execute("DELETE FROM probes")
+            cur.execute("DELETE FROM cands")
+            cur.executemany("INSERT INTO probes VALUES (?,?,?,?)",
+                            probe_rows)
+            cur.executemany("INSERT INTO cands VALUES (?,?,?,?)",
+                            cand_rows)
+            # Carry per-level prefix values to every probe: interval
+            # rows (side 0) supply cum, probe rows (side ±1) pick up
+            # the running MAX = the last preceding cell's cum.  The
+            # filter sits outside the subquery so the window sees all
+            # rows.
+            carried = cur.execute(
+                """
+                SELECT qid, level, side, carried FROM (
+                    SELECT qid, level, side,
+                           MAX(cum) OVER (
+                               PARTITION BY level
+                               ORDER BY val, side
+                               ROWS BETWEEN UNBOUNDED PRECEDING
+                                    AND CURRENT ROW
+                           ) AS carried
+                    FROM (
+                        SELECT level, cell AS val, 0 AS side,
+                               NULL AS qid, cum
+                        FROM intervals WHERE table_id = ?
+                        UNION ALL
+                        SELECT level, val, side, qid, NULL AS cum
+                        FROM probes
+                    )
+                ) WHERE qid IS NOT NULL
+                """,
+                (table_id,),
+            ).fetchall()
+            straddle = cur.execute(
+                """
+                SELECT c.level, c.kind, c.qid, i.mass
+                FROM cands c
+                JOIN intervals i
+                  ON i.table_id = ? AND i.level = c.level
+                 AND i.cell = c.cell
+                """,
+                (table_id,),
+            ).fetchall()
+            cur.execute("DELETE FROM probes")
+            cur.execute("DELETE FROM cands")
+
+        level_index = {lvl: j for j, (lvl, _) in enumerate(meta)}
+        ca = np.zeros((len(meta), q), dtype=float)
+        cb = np.zeros((len(meta), q), dtype=float)
+        for qid, lvl, side, value in carried:
+            if value is None:
+                continue
+            (ca if side == -1 else cb)[level_index[lvl], qid] = value
+        hits: Dict[Tuple[int, int], List[Tuple[int, float]]] = {}
+        for lvl, kind, qid, mass in straddle:
+            hits.setdefault((lvl, kind), []).append((qid, mass))
+
+        per_box = np.zeros(q, dtype=float)
+        for j, (lvl, s) in enumerate(meta):
+            # Contained run: prefix difference, +0.0 for empty runs
+            # (cum is nondecreasing per level, so a reversed pair can
+            # only mean an empty run).
+            per_box += np.maximum(0.0, cb[j] - ca[j])
+            for kind in (0, 1):
+                got = hits.get((lvl, kind))
+                if not got:
+                    continue
+                got.sort()
+                rows = np.asarray([g[0] for g in got], dtype=np.int64)
+                mass = np.asarray([g[1] for g in got], dtype=float)
+                cand = cands[(lvl, kind)][rows]
+                n_lo = cand * s
+                n_hi = n_lo + s - 1
+                overlap = (
+                    np.minimum(hi[rows], n_hi)
+                    - np.maximum(lo[rows], n_lo) + 1
+                )
+                per_box[rows] += mass * overlap / float(s)
+        return per_box
+
+
+class SpilledTable:
+    """A :class:`PushdownStore` handle bound to one table id.
+
+    What summaries hold after spilling: answers the same batteries as
+    the in-memory table, out-of-core.
+    """
+
+    __slots__ = ("store", "table_id")
+
+    def __init__(self, store: PushdownStore, table_id: str):
+        self.store = store
+        self.table_id = table_id
+
+    def range_sums(
+        self, lo: np.ndarray, hi: np.ndarray,
+        levels: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        return self.store.range_sums(self.table_id, lo, hi,
+                                     levels=levels)
+
+    def load(self) -> IntervalTable:
+        """Pull the table back into RAM."""
+        return self.store.get(self.table_id)
+
+
+def _cleanup_temp(path: str) -> None:
+    for suffix in ("", "-wal", "-shm"):
+        try:
+            os.remove(path + suffix)
+        except OSError:
+            pass

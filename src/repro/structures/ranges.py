@@ -350,7 +350,8 @@ class QueryPlan(Sequence):
       hi=-1`` (computed lazily, cached on the plan).
     """
 
-    __slots__ = ("queries", "bounds", "counts", "offsets", "_padded")
+    __slots__ = ("queries", "bounds", "counts", "offsets", "_padded",
+                 "_sorted_1d")
 
     def __init__(self, queries: List[Union[Box, MultiRangeQuery]]):
         self.queries = queries
@@ -373,9 +374,31 @@ class QueryPlan(Sequence):
             ([0], np.cumsum(self.counts)[:-1])
         ) if parts else np.zeros(0, dtype=np.int64)
         self._padded: Optional[np.ndarray] = None
+        self._sorted_1d: Optional[Tuple[np.ndarray, ...]] = None
 
     def __len__(self) -> int:
         return len(self.queries)
+
+    def sorted_1d(self) -> Tuple[np.ndarray, ...]:
+        """Sorted views of the 1-D bounds, cached on the plan.
+
+        Returns ``(order_lo, sorted_lo, order_hi, sorted_hi)`` where
+        ``sorted_lo = bounds[:, 0, 0][order_lo]`` (stable argsort) and
+        likewise for the high bounds.  The interval-table scan kernel
+        (:meth:`repro.structures.intervals.IntervalTable.range_scan`)
+        uses these to place each level's cells among the battery's
+        bounds by counting instead of per-query binary searches; the
+        sort amortizes across every summary served from the same plan.
+        """
+        if self._sorted_1d is None:
+            lo = self.bounds[:, 0, 0]
+            hi = self.bounds[:, 0, 1]
+            order_lo = np.argsort(lo, kind="stable")
+            order_hi = np.argsort(hi, kind="stable")
+            self._sorted_1d = (
+                order_lo, lo[order_lo], order_hi, hi[order_hi]
+            )
+        return self._sorted_1d
 
     def __getitem__(self, index):
         return self.queries[index]

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
+from repro.structures.intervals import IntervalTable, use_flat
 from repro.structures.ranges import Box
 from repro.summaries.base import IncrementalSummary, Summary, battery_plans
 
@@ -53,9 +54,21 @@ class StreamingQDigest(Summary, IncrementalSummary):
         self._total = 0.0
         self._since_compress = 0
         self._inserts = 0
-        # Bumped on every mutation of the node tree (inserts *and*
-        # compressions); keys the stacked-node cache of `query_many`.
+        # Bumped on every (re)bind or mutation of the node tree; keys
+        # every derived cache of `query_many` (the per-depth tables,
+        # the flat interval table, and any spilled pushdown store).
         self._mutations = 0
+
+    def _mutated(self) -> None:
+        """Record a node-tree mutation, invalidating derived caches.
+
+        Must be called at *every* site that rebinds or mutates
+        ``_counts`` -- inserts, compressions, merge targets, restored
+        and snapshot copies -- or ``query_many`` would serve answers
+        from a stale cached table (regression-pinned in
+        ``tests/test_interval_store.py``).
+        """
+        self._mutations += 1
 
     @classmethod
     def for_domain(
@@ -108,7 +121,7 @@ class StreamingQDigest(Summary, IncrementalSummary):
         self._total += weight
         self._since_compress += 1
         self._inserts += 1
-        self._mutations += 1
+        self._mutated()
         if self._since_compress >= self._compress_every:
             self.compress()
 
@@ -138,6 +151,7 @@ class StreamingQDigest(Summary, IncrementalSummary):
         clone._counts = dict(self._counts)
         clone._total = self._total
         clone._inserts = self._inserts
+        clone._mutated()
         clone.compress()
         return clone
 
@@ -149,7 +163,7 @@ class StreamingQDigest(Summary, IncrementalSummary):
     def compress(self) -> None:
         """Merge light (node, sibling) pairs into their parents."""
         self._since_compress = 0
-        self._mutations += 1
+        self._mutated()
         if self._total == 0:
             return
         threshold = self._total / self._k
@@ -201,6 +215,7 @@ class StreamingQDigest(Summary, IncrementalSummary):
         for node, count in other._counts.items():
             merged._counts[node] = merged._counts.get(node, 0.0) + count
         merged._total = self._total + other._total
+        merged._mutated()
         merged.compress()
         return merged
 
@@ -244,6 +259,7 @@ class StreamingQDigest(Summary, IncrementalSummary):
         digest._total = float(state["total"])
         digest._since_compress = int(state["since_compress"])
         digest._inserts = int(state["inserts"])
+        digest._mutated()
         return digest
 
     def range_sum(self, lo: int, hi: int) -> float:
@@ -309,26 +325,99 @@ class StreamingQDigest(Summary, IncrementalSummary):
             self.__dict__["_interval_arrays"] = cached
         return cached[1]
 
-    def query_many(self, queries: Iterable) -> List[float]:
-        """Estimates for a whole battery via the sorted interval table.
+    def interval_table(self) -> IntervalTable:
+        """The node tree as a flat :class:`IntervalTable`.
 
-        Per materialized depth a box resolves in O(log nodes): the run
-        of cells fully inside the box is one prefix-sum difference
-        between two ``searchsorted`` bounds, and only the two endpoint
-        cells can straddle, each one more ``searchsorted`` probe
-        contributing its overlapped span fraction.  Replaces the dense
-        ``(boxes, nodes)`` overlap broadcast -- ``O(q log s)`` instead
-        of ``O(q s)``.  Answers match the scalar :meth:`range_sum`
-        path up to floating-point summation order.
+        Cached per mutation (``_mutated`` keys it), so repeated
+        batteries over a frozen snapshot encode once.  The table's
+        canonical per-level order matches the retained per-depth
+        tables exactly, which is what keeps the flat kernel's answers
+        bit-identical to :meth:`_query_many_levels`.
+        """
+        cached = self.__dict__.get("_flat_table")
+        if cached is None or cached[0] != self._mutations:
+            nodes = np.fromiter(self._counts.keys(), dtype=np.int64,
+                                count=len(self._counts))
+            counts = np.fromiter(self._counts.values(), dtype=float,
+                                 count=len(self._counts))
+            table = IntervalTable.from_dyadic_nodes(
+                self._bits, nodes, counts
+            )
+            cached = (self._mutations, table)
+            self.__dict__["_flat_table"] = cached
+        return cached[1]
+
+    def _spill_backend(self, table: IntervalTable):
+        """An on-disk pushdown handle when ``table`` busts the budget.
+
+        Returns ``None`` (serve in RAM) unless the table's resident
+        bytes exceed the effective RAM budget -- the per-instance
+        ``pushdown_budget`` attribute if set, else the module default
+        from :func:`repro.backends.pushdown.ram_budget`.  The spilled
+        store is cached per mutation so repeated batteries reuse one
+        SQLite file.
+        """
+        budget = getattr(self, "pushdown_budget", None)
+        if budget is None:
+            from repro.backends.pushdown import ram_budget
+            budget = ram_budget()
+        if budget is None or table.nbytes <= budget:
+            return None
+        cached = self.__dict__.get("_spill_store")
+        if cached is None or cached[0] != self._mutations:
+            from repro.backends.pushdown import PushdownStore
+            store = PushdownStore.temp()
+            store.put("digest", table)
+            cached = (self._mutations, store)
+            self.__dict__["_spill_store"] = cached
+        return cached[1].handle("digest")
+
+    def query_many(self, queries: Iterable) -> List[float]:
+        """Estimates for a whole battery over the interval table.
+
+        The default path encodes the node tree as a flat
+        :class:`IntervalTable` and runs its compiled battery scan
+        (:meth:`IntervalTable.range_scan`): the battery's bounds are
+        sorted once on the plan, each depth's cells are placed among
+        them by counting, and the compiled gather replays for repeat
+        batteries.  When the table exceeds the pushdown RAM budget the
+        same battery is answered out-of-core by the SQLite backend.
+        Setting ``flat_kernel = False`` (or ``REPRO_FLAT_KERNELS=0``)
+        retains the historical per-depth ``searchsorted`` kernel; all
+        three paths are bit-identical.
         """
         plan = battery_plans(self).fetch_plan(queries)
         if len(plan) == 0:
             return []
         if plan.dims != 1:
             raise ValueError("streaming q-digest answers 1-D boxes only")
-        bounds = plan.bounds
         if not self._counts:
             return [0.0] * len(plan)
+        if use_flat(self):
+            table = self.interval_table()
+            spilled = self._spill_backend(table)
+            if spilled is not None:
+                bounds = plan.bounds
+                per_box = spilled.range_sums(
+                    bounds[:, 0, 0], bounds[:, 0, 1]
+                )
+            else:
+                per_box = table.range_scan(plan)
+        else:
+            per_box = self._query_many_levels(plan)
+        return plan.reduce_boxes(per_box).tolist()
+
+    def _query_many_levels(self, plan) -> np.ndarray:
+        """Retained per-depth kernel (pre-interval-table, pinned).
+
+        Per materialized depth a box resolves in O(log nodes): the run
+        of cells fully inside the box is one prefix-sum difference
+        between two ``searchsorted`` bounds, and only the two endpoint
+        cells can straddle, each one more ``searchsorted`` probe
+        contributing its overlapped span fraction.  Kept as the
+        bit-exact reference for the flat and pushdown kernels.
+        """
+        bounds = plan.bounds
         lo = bounds[:, 0, 0]
         hi = bounds[:, 0, 1]
         per_box = np.zeros(bounds.shape[0], dtype=float)
@@ -362,7 +451,7 @@ class StreamingQDigest(Summary, IncrementalSummary):
                 per_box[idx] += (
                     cell_counts[pos_c[idx]] * overlap / float(span)
                 )
-        return plan.reduce_boxes(per_box).tolist()
+        return per_box
 
     def quantile(self, phi: float) -> int:
         """Key at (approximately) the phi-quantile of the weight."""
